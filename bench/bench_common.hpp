@@ -1,0 +1,99 @@
+// Shared helpers for the experiment harnesses. Each bench binary prints the
+// paper-style rows of one experiment from DESIGN.md's index (E1–E16).
+#pragma once
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/bounds.hpp"
+#include "core/checkers.hpp"
+#include "core/potential.hpp"
+#include "core/surface.hpp"
+#include "routing/brassil_cruz.hpp"
+#include "routing/ddim_priority.hpp"
+#include "routing/greedy_variants.hpp"
+#include "routing/perverse.hpp"
+#include "routing/restricted_priority.hpp"
+#include "routing/single_target.hpp"
+#include "sim/engine.hpp"
+#include "stats/recorder.hpp"
+#include "topology/mesh.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+namespace hp::bench {
+
+inline std::unique_ptr<sim::RoutingPolicy> make_policy(
+    const std::string& kind, const net::Network* network = nullptr) {
+  using routing::RestrictedPriorityPolicy;
+  if (kind == "restricted") {
+    return std::make_unique<RestrictedPriorityPolicy>();
+  }
+  if (kind == "restricted/random") {
+    RestrictedPriorityPolicy::Params params;
+    params.tie_break = RestrictedPriorityPolicy::TieBreak::kRandom;
+    params.deflect = routing::DeflectRule::kRandom;
+    return std::make_unique<RestrictedPriorityPolicy>(params);
+  }
+  if (kind == "restricted/typeA") {
+    RestrictedPriorityPolicy::Params params;
+    params.tie_break = RestrictedPriorityPolicy::TieBreak::kTypeAFirst;
+    return std::make_unique<RestrictedPriorityPolicy>(params);
+  }
+  if (kind == "restricted/maxadv") {
+    RestrictedPriorityPolicy::Params params;
+    params.maximize_advancing = true;
+    return std::make_unique<RestrictedPriorityPolicy>(params);
+  }
+  if (kind == "ddim") return std::make_unique<routing::DdimPriorityPolicy>();
+  if (kind == "greedy-random") {
+    return std::make_unique<routing::GreedyRandomPolicy>();
+  }
+  if (kind == "furthest-first") {
+    return std::make_unique<routing::FurthestFirstPolicy>();
+  }
+  if (kind == "closest-first") {
+    return std::make_unique<routing::ClosestFirstPolicy>();
+  }
+  if (kind == "perverse") {
+    return std::make_unique<routing::PerverseGreedyPolicy>();
+  }
+  if (kind == "brassil-cruz") {
+    const auto* mesh = dynamic_cast<const net::Mesh*>(network);
+    HP_REQUIRE(mesh != nullptr && mesh->dim() == 2,
+               "brassil-cruz bench policy needs a 2-D mesh");
+    return std::make_unique<routing::BrassilCruzPolicy>(
+        routing::snake_rank(*mesh));
+  }
+  if (kind == "single-target") {
+    return std::make_unique<routing::SingleTargetPolicy>();
+  }
+  HP_REQUIRE(false, "unknown bench policy: " + kind);
+  return nullptr;
+}
+
+/// Runs one problem under one policy and returns the result; dies loudly on
+/// livelock or timeout so a regression cannot masquerade as data.
+inline sim::RunResult run(const net::Network& network,
+                          const workload::Problem& problem,
+                          sim::RoutingPolicy& policy,
+                          std::uint64_t max_steps = 10'000'000,
+                          std::uint64_t seed = 1) {
+  sim::EngineConfig config;
+  config.max_steps = max_steps;
+  config.seed = seed;
+  sim::Engine engine(network, problem, policy, config);
+  auto result = engine.run();
+  HP_CHECK(result.completed, "bench run did not complete: " + problem.name +
+                                 " under " + policy.name() +
+                                 (result.livelocked ? " (livelock)" : ""));
+  return result;
+}
+
+inline void print_header(const std::string& id, const std::string& title) {
+  std::cout << "\n=== " << id << ": " << title << " ===\n";
+}
+
+}  // namespace hp::bench

@@ -1,0 +1,103 @@
+// E16 — engine micro-benchmarks (google-benchmark): simulation throughput
+// in node-routing operations and full steps per second, plus the topology
+// primitives the inner loop leans on.
+#include <benchmark/benchmark.h>
+
+#include "routing/restricted_priority.hpp"
+#include "sim/engine.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+#include "workload/generators.hpp"
+
+namespace hp {
+namespace {
+
+void BM_MeshDistance(benchmark::State& state) {
+  net::Mesh mesh(2, 64);
+  Rng rng(1);
+  std::vector<std::pair<net::NodeId, net::NodeId>> pairs;
+  for (int i = 0; i < 1024; ++i) {
+    pairs.emplace_back(static_cast<net::NodeId>(rng.uniform(mesh.num_nodes())),
+                       static_cast<net::NodeId>(rng.uniform(mesh.num_nodes())));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ & 1023];
+    benchmark::DoNotOptimize(mesh.distance(a, b));
+  }
+}
+BENCHMARK(BM_MeshDistance);
+
+void BM_GoodDirs(benchmark::State& state) {
+  net::Mesh mesh(static_cast<int>(state.range(0)), 8);
+  Rng rng(2);
+  std::vector<std::pair<net::NodeId, net::NodeId>> pairs;
+  for (int i = 0; i < 1024; ++i) {
+    pairs.emplace_back(static_cast<net::NodeId>(rng.uniform(mesh.num_nodes())),
+                       static_cast<net::NodeId>(rng.uniform(mesh.num_nodes())));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ & 1023];
+    benchmark::DoNotOptimize(mesh.good_dirs(a, b));
+  }
+}
+BENCHMARK(BM_GoodDirs)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_EngineStep(benchmark::State& state) {
+  // Cost of one synchronous step at saturation (4 packets per node) on an
+  // n×n mesh; reported as packet-moves per second.
+  const int n = static_cast<int>(state.range(0));
+  net::Mesh mesh(2, n);
+  std::uint64_t moves = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(7);
+    auto problem = workload::saturated_random(mesh, 4, rng);
+    routing::RestrictedPriorityPolicy policy;
+    sim::Engine engine(mesh, problem, policy);
+    state.ResumeTiming();
+    while (engine.step()) {
+      moves += engine.in_flight();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(moves));
+}
+BENCHMARK(BM_EngineStep)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_FullRunPermutation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  net::Mesh mesh(2, n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(11);
+    auto problem = workload::random_permutation(mesh, rng);
+    routing::RestrictedPriorityPolicy policy;
+    sim::Engine engine(mesh, problem, policy);
+    state.ResumeTiming();
+    auto result = engine.run();
+    benchmark::DoNotOptimize(result.steps);
+  }
+}
+BENCHMARK(BM_FullRunPermutation)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_HypercubeRun(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  net::Hypercube cube(m);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(13);
+    auto problem = workload::random_permutation(cube, rng);
+    routing::RestrictedPriorityPolicy policy;
+    sim::Engine engine(cube, problem, policy);
+    state.ResumeTiming();
+    auto result = engine.run();
+    benchmark::DoNotOptimize(result.steps);
+  }
+}
+BENCHMARK(BM_HypercubeRun)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// E19 — adversarial permutations (§6.1, [BCS]): how much slower than a
+// random permutation can a hill-climbing search push the restricted-
+// priority algorithm? [BCS] proves Ω(n²) worst cases exist; the search
+// exhibits the average-vs-adversarial gap and produces stress instances.
+#include "core/hard_instance.hpp"
+
+#include "bench_common.hpp"
+
+namespace hp::bench {
+namespace {
+
+void search_table() {
+  print_header("E19", "Hard-permutation search (hill climbing, destination "
+                      "swaps) vs random permutations");
+  TablePrinter table({"n", "policy", "random_perm", "hardest_found",
+                      "slowdown", "2n-2", "8n^2", "evals"});
+  for (int n : {6, 8, 10}) {
+    net::Mesh mesh(2, n);
+    for (const char* kind : {"restricted", "furthest-first"}) {
+      core::HardSearchConfig config;
+      config.evaluations = 3000;
+      config.restarts = 6;
+      config.swaps_per_mutation = 2;
+      config.seed = static_cast<std::uint64_t>(n) * 17 + 3;
+      const auto result = core::search_hard_permutation(
+          mesh, [&] { return make_policy(kind); }, config);
+      table.row()
+          .add(std::int64_t{n})
+          .add(kind)
+          .add(result.baseline_steps)
+          .add(result.worst_steps)
+          .add(static_cast<double>(result.worst_steps) /
+                   static_cast<double>(result.baseline_steps),
+               2)
+          .add(std::int64_t{2 * n - 2})
+          .add(core::remark_permutation_bound(n), 0)
+          .add(static_cast<std::uint64_t>(result.evaluations));
+    }
+  }
+  table.print(std::cout);
+  std::cout << "(random permutations finish near the 2n-2 distance bound; "
+               "the search pushes the same algorithms measurably higher — "
+               "the direction of [BCS]'s Omega(n^2) adversarial "
+               "construction, which shows the paper's analysis is tight "
+               "for this class)\n";
+}
+
+}  // namespace
+}  // namespace hp::bench
+
+int main() {
+  hp::bench::search_table();
+  return 0;
+}

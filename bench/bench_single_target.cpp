@@ -1,0 +1,57 @@
+// E15 — single-target routing ([BTS]): all k packets to one node on the
+// 2-D mesh. The greedy single-target algorithm is claimed to match
+// d_max + k; the absorption lower bound is max(d_max, ceil(k/in_degree)).
+#include "bench_common.hpp"
+
+namespace hp::bench {
+namespace {
+
+void single_target_sweep() {
+  print_header("E15", "Single target on a 16x16 mesh: measured vs "
+                      "d_max + k upper and absorption lower bound");
+  TablePrinter table({"k", "target", "d_max", "steps", "ub(k+dmax)",
+                      "lb(max(dmax,k/indeg))", "steps/lb"});
+  net::Mesh mesh(2, 16);
+  struct Target {
+    const char* name;
+    int x, y, in_degree;
+  };
+  for (Target t : {Target{"center", 8, 8, 4}, Target{"corner", 0, 0, 2}}) {
+    net::Coord c;
+    c.push_back(t.x);
+    c.push_back(t.y);
+    const net::NodeId target = mesh.node_at(c);
+    for (std::size_t k : {16u, 64u, 256u, 512u}) {
+      Rng rng(k * 3 + static_cast<std::uint64_t>(t.x));
+      auto problem = workload::single_target(mesh, k, target, rng);
+      auto policy = make_policy("single-target");
+      const auto result = run(mesh, problem, *policy);
+      const int dmax = problem.max_distance(mesh);
+      const double ub = static_cast<double>(k) + dmax;
+      const double lb = core::single_target_lower_bound(
+          static_cast<double>(k), dmax, t.in_degree);
+      HP_CHECK(static_cast<double>(result.steps) <= ub,
+               "single-target k + d_max bound violated");
+      table.row()
+          .add(static_cast<std::uint64_t>(k))
+          .add(t.name)
+          .add(std::int64_t{dmax})
+          .add(result.steps)
+          .add(ub, 0)
+          .add(lb, 0)
+          .add(static_cast<double>(result.steps) / lb, 2);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "(steps/lb near 1 reproduces the [BTS] finding that greedy "
+               "single-target routing is essentially optimal: the "
+               "destination's in-arcs stay saturated)\n";
+}
+
+}  // namespace
+}  // namespace hp::bench
+
+int main() {
+  hp::bench::single_target_sweep();
+  return 0;
+}

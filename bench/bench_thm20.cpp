@@ -1,0 +1,103 @@
+// E1 — Theorem 20: any greedy algorithm preferring restricted packets
+// routes k packets on the n×n mesh within 8√2·n·√k steps.
+//
+// Sweeps n and k over random many-to-many loads and over the tie-break /
+// deflection variants inside the class, reporting measured time against
+// the bound. Expected shape: measured ≤ bound everywhere, with a large
+// gap (the paper: greedy performs far better in simulation than its
+// worst-case analysis), and √k-like growth under congestion.
+#include "bench_common.hpp"
+
+namespace hp::bench {
+namespace {
+
+void sweep_k() {
+  print_header("E1a", "Theorem 20 bound sweep — time vs k (n fixed)");
+  TablePrinter table({"n", "k", "policy", "steps", "bound(8sqrt2*n*sqrtk)",
+                      "bound/steps", "deflections"});
+  Rng rng(20240701);
+  for (int n : {8, 16, 32}) {
+    net::Mesh mesh(2, n);
+    const std::size_t nn = static_cast<std::size_t>(n) * n;
+    for (std::size_t k : {nn / 16, nn / 4, nn / 2, nn, 2 * nn}) {
+      if (k == 0) continue;
+      auto problem = workload::random_many_to_many(mesh, k, rng);
+      for (const char* kind : {"restricted", "restricted/random"}) {
+        auto policy = make_policy(kind);
+        const auto result = run(mesh, problem, *policy);
+        const double bound = core::thm20_bound(n, static_cast<double>(k));
+        HP_CHECK(static_cast<double>(result.steps) <= bound,
+                 "Theorem 20 bound violated!");
+        table.row()
+            .add(std::int64_t{n})
+            .add(static_cast<std::uint64_t>(k))
+            .add(kind)
+            .add(result.steps)
+            .add(bound, 0)
+            .add(bound / static_cast<double>(result.steps), 1)
+            .add(result.total_deflections);
+      }
+    }
+  }
+  table.print(std::cout);
+}
+
+void sweep_variants() {
+  print_header("E1b",
+               "Theorem 20 class variants — every tie-break/deflection "
+               "stays under the same bound");
+  TablePrinter table({"variant", "steps", "bound", "ok"});
+  net::Mesh mesh(2, 16);
+  Rng rng(42);
+  auto problem = workload::random_many_to_many(mesh, 256, rng);
+  const double bound = core::thm20_bound(16, 256.0);
+  for (const char* kind :
+       {"restricted", "restricted/random", "restricted/typeA",
+        "restricted/maxadv"}) {
+    auto policy = make_policy(kind);
+    const auto result = run(mesh, problem, *policy);
+    table.row()
+        .add(kind)
+        .add(result.steps)
+        .add(bound, 0)
+        .add(static_cast<double>(result.steps) <= bound ? "yes" : "NO");
+  }
+  table.print(std::cout);
+}
+
+void growth_shape() {
+  print_header("E1c",
+               "Growth shape — measured time vs sqrt(k) (fixed n = 32, "
+               "mean of 3 seeds)");
+  TablePrinter table({"k", "mean_steps", "steps/sqrt(k)", "bound/steps"});
+  net::Mesh mesh(2, 32);
+  for (std::size_t k : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
+    double total = 0;
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      Rng rng(seed * 101 + 7);
+      auto problem = workload::random_many_to_many(mesh, k, rng);
+      auto policy = make_policy("restricted");
+      total += static_cast<double>(run(mesh, problem, *policy).steps);
+    }
+    const double mean = total / 3.0;
+    const double bound = core::thm20_bound(32, static_cast<double>(k));
+    table.row()
+        .add(static_cast<std::uint64_t>(k))
+        .add(mean, 1)
+        .add(mean / std::sqrt(static_cast<double>(k)), 2)
+        .add(bound / mean, 1);
+  }
+  table.print(std::cout);
+  std::cout << "(steps/sqrt(k) should stay bounded as k grows if the √k "
+               "shape of Theorem 20 is the right scaling under congestion)\n";
+}
+
+}  // namespace
+}  // namespace hp::bench
+
+int main() {
+  hp::bench::sweep_k();
+  hp::bench::sweep_variants();
+  hp::bench::growth_shape();
+  return 0;
+}

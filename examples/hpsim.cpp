@@ -1,0 +1,348 @@
+// hpsim — command-line driver for the hotpotato library.
+//
+// Runs any topology × workload × policy combination, optionally with the
+// full paper audit (Property 8, Definitions 6/18, Lemmas 12/14) attached
+// and/or a per-step CSV time series on stdout.
+//
+// Examples:
+//   hpsim --topology mesh --n 16 --workload permutation --policy restricted
+//   hpsim --topology torus --n 32 --workload random --k 512 --audit
+//   hpsim --topology hypercube --dim 8 --workload random --k 256
+//         --policy id-priority
+//   hpsim --topology mesh --n 16 --workload hotspot --k 200 --csv
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/bounds.hpp"
+#include "core/checkers.hpp"
+#include "core/potential.hpp"
+#include "core/surface.hpp"
+#include "routing/brassil_cruz.hpp"
+#include "routing/ddim_priority.hpp"
+#include "routing/greedy_variants.hpp"
+#include "routing/perverse.hpp"
+#include "routing/restricted_priority.hpp"
+#include "routing/single_target.hpp"
+#include "sim/engine.hpp"
+#include "sim/injection.hpp"
+#include "stats/recorder.hpp"
+#include "stats/steady_state.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+#include "workload/generators.hpp"
+#include "workload/io.hpp"
+
+namespace {
+
+struct Options {
+  std::string topology = "mesh";
+  int dim = 2;
+  int n = 16;
+  std::string workload = "permutation";
+  std::size_t k = 0;  // 0 = workload default
+  std::string policy = "restricted";
+  std::uint64_t seed = 1;
+  std::uint64_t max_steps = 10'000'000;
+  bool audit = false;
+  bool csv = false;
+  std::string save_path;  // write the generated instance here
+  std::string load_path;  // route this instance instead of generating one
+  double inject_rate = -1.0;       // >= 0 switches to steady-state mode
+  std::uint64_t inject_steps = 2000;
+};
+
+void usage() {
+  std::cout <<
+      R"(usage: hpsim [options]
+  --topology mesh|torus|hypercube   (default mesh)
+  --dim D                           mesh dimension / hypercube bits (default 2)
+  --n N                             mesh side length (default 16)
+  --workload permutation|random|transpose|bit-reversal|inversion|
+             single-target|hotspot|corner|saturated   (default permutation)
+  --k K                             packet count for random/single-target/
+                                    hotspot (default: one per node)
+  --policy restricted|restricted-random|ddim|greedy-random|furthest-first|
+           closest-first|id-priority|brassil-cruz|single-target|perverse
+  --seed S                          RNG seed (default 1)
+  --max-steps T                     step cap (default 10M)
+  --audit                           attach the full paper audit
+  --csv                             print the per-step series as CSV
+  --save PATH                       save the generated instance as text
+  --load PATH                       route a saved instance (overrides
+                                    --workload/--k)
+  --inject RATE                     steady-state mode: per-node Bernoulli
+                                    arrivals instead of a batch workload
+  --inject-steps T                  steady-state run length (default 2000,
+                                    first 20% is warmup)
+  --help
+)";
+}
+
+std::unique_ptr<hp::net::Network> make_network(const Options& opt) {
+  if (opt.topology == "mesh") {
+    return std::make_unique<hp::net::Mesh>(opt.dim, opt.n, false);
+  }
+  if (opt.topology == "torus") {
+    return std::make_unique<hp::net::Mesh>(opt.dim, opt.n, true);
+  }
+  if (opt.topology == "hypercube") {
+    return std::make_unique<hp::net::Hypercube>(opt.dim);
+  }
+  std::cerr << "unknown topology: " << opt.topology << "\n";
+  return nullptr;
+}
+
+hp::workload::Problem make_workload(const Options& opt,
+                                    const hp::net::Network& network,
+                                    hp::Rng& rng) {
+  const auto* mesh = dynamic_cast<const hp::net::Mesh*>(&network);
+  const std::size_t k = opt.k > 0 ? opt.k : network.num_nodes();
+  if (opt.workload == "permutation") {
+    return hp::workload::random_permutation(network, rng);
+  }
+  if (opt.workload == "random") {
+    return hp::workload::random_many_to_many(network, k, rng);
+  }
+  if (opt.workload == "transpose" && mesh) {
+    return hp::workload::transpose(*mesh);
+  }
+  if (opt.workload == "bit-reversal" && mesh) {
+    return hp::workload::bit_reversal(*mesh);
+  }
+  if (opt.workload == "inversion" && mesh) {
+    return hp::workload::inversion(*mesh);
+  }
+  if (opt.workload == "single-target") {
+    return hp::workload::single_target(
+        network, k, static_cast<hp::net::NodeId>(network.num_nodes() / 2),
+        rng);
+  }
+  if (opt.workload == "hotspot") {
+    return hp::workload::hotspot(network, k, 1, rng);
+  }
+  if (opt.workload == "corner" && mesh) {
+    return hp::workload::corner_to_corner(*mesh, rng);
+  }
+  if (opt.workload == "saturated") {
+    return hp::workload::saturated_random(network, 4, rng);
+  }
+  throw hp::CheckError("workload '" + opt.workload +
+                       "' unknown or unsupported on this topology");
+}
+
+std::unique_ptr<hp::sim::RoutingPolicy> make_policy(
+    const Options& opt, const hp::net::Network& network) {
+  using hp::routing::RestrictedPriorityPolicy;
+  if (opt.policy == "restricted") {
+    return std::make_unique<RestrictedPriorityPolicy>();
+  }
+  if (opt.policy == "restricted-random") {
+    RestrictedPriorityPolicy::Params params;
+    params.tie_break = RestrictedPriorityPolicy::TieBreak::kRandom;
+    params.deflect = hp::routing::DeflectRule::kRandom;
+    return std::make_unique<RestrictedPriorityPolicy>(params);
+  }
+  if (opt.policy == "ddim") {
+    return std::make_unique<hp::routing::DdimPriorityPolicy>();
+  }
+  if (opt.policy == "greedy-random") {
+    return std::make_unique<hp::routing::GreedyRandomPolicy>();
+  }
+  if (opt.policy == "furthest-first") {
+    return std::make_unique<hp::routing::FurthestFirstPolicy>();
+  }
+  if (opt.policy == "closest-first") {
+    return std::make_unique<hp::routing::ClosestFirstPolicy>();
+  }
+  if (opt.policy == "id-priority") {
+    return std::make_unique<hp::routing::IdPriorityPolicy>();
+  }
+  if (opt.policy == "brassil-cruz") {
+    const auto* mesh = dynamic_cast<const hp::net::Mesh*>(&network);
+    if (mesh == nullptr || mesh->dim() != 2) {
+      throw hp::CheckError("brassil-cruz needs a 2-D mesh/torus");
+    }
+    return std::make_unique<hp::routing::BrassilCruzPolicy>(
+        hp::routing::snake_rank(*mesh));
+  }
+  if (opt.policy == "single-target") {
+    return std::make_unique<hp::routing::SingleTargetPolicy>();
+  }
+  if (opt.policy == "perverse") {
+    return std::make_unique<hp::routing::PerverseGreedyPolicy>();
+  }
+  throw hp::CheckError("unknown policy: " + opt.policy);
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw hp::CheckError("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--topology") {
+      opt.topology = value();
+    } else if (arg == "--dim") {
+      opt.dim = std::stoi(value());
+    } else if (arg == "--n") {
+      opt.n = std::stoi(value());
+    } else if (arg == "--workload") {
+      opt.workload = value();
+    } else if (arg == "--k") {
+      opt.k = static_cast<std::size_t>(std::stoull(value()));
+    } else if (arg == "--policy") {
+      opt.policy = value();
+    } else if (arg == "--seed") {
+      opt.seed = std::stoull(value());
+    } else if (arg == "--max-steps") {
+      opt.max_steps = std::stoull(value());
+    } else if (arg == "--inject") {
+      opt.inject_rate = std::stod(value());
+    } else if (arg == "--inject-steps") {
+      opt.inject_steps = std::stoull(value());
+    } else if (arg == "--save") {
+      opt.save_path = value();
+    } else if (arg == "--load") {
+      opt.load_path = value();
+    } else if (arg == "--audit") {
+      opt.audit = true;
+    } else if (arg == "--csv") {
+      opt.csv = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return false;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage();
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  try {
+    if (!parse(argc, argv, opt)) return 2;
+
+    auto network = make_network(opt);
+    if (!network) return 2;
+
+    if (opt.inject_rate >= 0.0) {
+      // Steady-state mode: continuous Bernoulli arrivals, no batch.
+      auto policy = make_policy(opt, *network);
+      const std::uint64_t warmup = opt.inject_steps / 5;
+      const auto report = hp::stats::measure_steady_state(
+          *network, *policy, opt.inject_rate, warmup,
+          opt.inject_steps - warmup, opt.seed);
+      std::cout << "network         : " << network->name() << "\n"
+                << "policy          : " << policy->name() << "\n"
+                << "offered rate    : " << report.offered_rate
+                << " per node per step\n"
+                << "admit fraction  : " << report.admit_fraction << "\n"
+                << "throughput      : " << report.throughput
+                << " deliveries per node per step\n"
+                << "mean latency    : " << report.mean_latency << "\n"
+                << "p99 latency     : " << report.p99_latency << "\n"
+                << "mean in flight  : " << report.mean_in_flight << "\n"
+                << "deflections/pkt : " << report.deflections_per_delivered
+                << "\n";
+      return 0;
+    }
+
+    hp::Rng rng(opt.seed);
+    auto problem = opt.load_path.empty()
+                       ? make_workload(opt, *network, rng)
+                       : hp::workload::load_problem(opt.load_path);
+    problem.validate(*network);
+    if (!opt.save_path.empty()) {
+      hp::workload::save_problem(opt.save_path, problem);
+    }
+    auto policy = make_policy(opt, *network);
+
+    hp::sim::EngineConfig config;
+    config.max_steps = opt.max_steps;
+    config.seed = opt.seed;
+    hp::sim::Engine engine(*network, problem, *policy, config);
+
+    // Optional instrumentation.
+    const auto* mesh = dynamic_cast<const hp::net::Mesh*>(network.get());
+    std::unique_ptr<hp::core::PotentialTracker> potential;
+    std::unique_ptr<hp::core::SurfaceTracker> surface;
+    hp::core::GreedyChecker greedy;
+    hp::core::RestrictedPreferenceChecker preference;
+    hp::stats::RunRecorder recorder;
+    if (opt.audit) {
+      if (mesh != nullptr) {
+        hp::core::PotentialTracker::Config pc;
+        pc.c_init = 2 * mesh->side();
+        pc.d = mesh->dim();
+        potential = std::make_unique<hp::core::PotentialTracker>(
+            *network, engine, pc);
+        engine.add_observer(potential.get());
+        if (!mesh->wraps()) {
+          surface = std::make_unique<hp::core::SurfaceTracker>(*mesh);
+          engine.add_observer(surface.get());
+        }
+      }
+      engine.add_observer(&greedy);
+      engine.add_observer(&preference);
+    }
+    if (opt.csv) engine.add_observer(&recorder);
+
+    const auto result = engine.run();
+
+    if (opt.csv) {
+      recorder.write_csv(std::cout);
+    } else {
+      const auto summary = hp::stats::summarize_latency(result);
+      std::cout << "network        : " << network->name() << " ("
+                << network->num_nodes() << " nodes)\n"
+                << "workload       : " << problem.name << " ("
+                << problem.size() << " packets)\n"
+                << "policy         : " << policy->name() << "\n"
+                << "status         : "
+                << (result.completed
+                        ? "completed"
+                        : (result.livelocked ? "LIVELOCK" : "step cap hit"))
+                << "\n"
+                << "steps          : " << result.steps << "\n"
+                << "deflections    : " << result.total_deflections << "\n";
+      if (result.completed && summary.delivered > 0) {
+        std::cout << "mean latency   : " << summary.latency.mean() << "\n"
+                  << "p99 latency    : " << summary.latency.percentile(0.99)
+                  << "\n"
+                  << "mean stretch   : " << summary.stretch.mean() << "\n";
+      }
+      if (mesh != nullptr && mesh->dim() == 2 && !mesh->wraps()) {
+        std::cout << "Thm 20 bound   : "
+                  << hp::core::thm20_bound(
+                         mesh->side(), static_cast<double>(problem.size()))
+                  << "\n";
+      }
+      if (opt.audit) {
+        std::cout << "audit          : greedy(Def6)="
+                  << greedy.violations().size() << " pref(Def18)="
+                  << preference.violations().size();
+        if (potential) {
+          std::cout << " property8=" << potential->property8_violations().size()
+                    << " structure=" << potential->structure_violations().size();
+        }
+        if (surface) {
+          std::cout << " lemma14=" << surface->lemma14_violations().size();
+        }
+        std::cout << " violations\n";
+      }
+    }
+    return result.completed ? 0 : 1;
+  } catch (const hp::CheckError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

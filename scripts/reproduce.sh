@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, run the full test suite, then every
+# experiment harness, teeing outputs to test_output.txt / bench_output.txt.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "===== $(basename "$b") =====" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done
+
+echo "done — see test_output.txt and bench_output.txt"

@@ -1,0 +1,63 @@
+#include "core/bounds.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hp::core {
+
+double thm17_bound(int d, double k, double M) {
+  HP_REQUIRE(d >= 1, "dimension must be positive");
+  HP_REQUIRE(k >= 0 && M >= 0, "k and M must be nonnegative");
+  const double dd = static_cast<double>(d);
+  return std::pow(4.0 * dd, 1.0 - 1.0 / dd) * std::pow(k, 1.0 / dd) * M;
+}
+
+double thm20_bound(int n, double k) {
+  // Theorem 17 with d = 2, M = 4n: (4·2)^{1/2} · √k · 4n = 8√2 · n · √k.
+  return 8.0 * std::sqrt(2.0) * static_cast<double>(n) * std::sqrt(k);
+}
+
+double remark_permutation_bound(int n) {
+  return 8.0 * static_cast<double>(n) * static_cast<double>(n);
+}
+
+double remark_four_per_node_bound(int n) {
+  return 16.0 * static_cast<double>(n) * static_cast<double>(n);
+}
+
+double ddim_bound(int d, int n, double k) {
+  HP_REQUIRE(d >= 1, "dimension must be positive");
+  const double dd = static_cast<double>(d);
+  return std::pow(4.0, dd + 1.0 - 1.0 / dd) * std::pow(dd, 1.0 - 1.0 / dd) *
+         std::pow(k, 1.0 / dd) * std::pow(static_cast<double>(n), dd - 1.0);
+}
+
+double ddim_potential_cap(int d, int n) {
+  const double dd = static_cast<double>(d);
+  return std::pow(4.0, dd) * std::pow(static_cast<double>(n), dd - 1.0);
+}
+
+double brassil_cruz_bound(int diam, double walk_len, double k) {
+  return static_cast<double>(diam) + walk_len + 2.0 * (k - 1.0);
+}
+
+double hajek_bound(double k, int dim) {
+  return 2.0 * k + static_cast<double>(dim);
+}
+
+double bts_bound(double k, int dmax) {
+  return 2.0 * (k - 1.0) + static_cast<double>(dmax);
+}
+
+double distance_lower_bound(int dmax) { return static_cast<double>(dmax); }
+
+double single_target_lower_bound(double k, int dmax, int in_degree) {
+  HP_REQUIRE(in_degree >= 1, "in-degree must be positive");
+  const double absorb = std::ceil(k / static_cast<double>(in_degree));
+  return std::max(static_cast<double>(dmax), absorb);
+}
+
+double phi0_upper(double k, double M) { return k * M; }
+
+}  // namespace hp::core

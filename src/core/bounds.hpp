@@ -1,0 +1,59 @@
+// Closed-form bounds from the paper and the related work it reproduces.
+//
+// Every experiment harness compares measured routing times against these.
+#pragma once
+
+#include <cstdint>
+
+namespace hp::core {
+
+/// Theorem 17: a routing algorithm with a potential function that satisfies
+/// Property 8, with per-packet potential at most M, solves every k-packet
+/// problem on the d-dimensional mesh within (4d)^{1−1/d} · k^{1/d} · M steps.
+double thm17_bound(int d, double k, double M);
+
+/// Theorem 20: any greedy algorithm that prefers restricted packets routes
+/// any k-packet problem on the n×n mesh within 8√2 · n · √k steps.
+/// (Theorem 17 with d = 2 and M = 4n.)
+double thm20_bound(int n, double k);
+
+/// Remark after Theorem 20: splitting a full permutation (k = n²) by origin
+/// parity gives 8n²; with four packets per node, 16n².
+double remark_permutation_bound(int n);
+double remark_four_per_node_bound(int n);
+
+/// Section 5: the generalized class (prefer packets with fewer good
+/// directions, maximize advancing packets) on the d-dimensional n^d mesh
+/// routes k packets within 4^{d+1−1/d} · d^{1−1/d} · k^{1/d} · n^{d−1}.
+double ddim_bound(int d, int n, double k);
+
+/// The per-packet potential cap M implied by the Section 5 bound when
+/// factored through Theorem 17: M = 4^d · n^{d−1} (M = 4n at d = 2).
+double ddim_potential_cap(int d, int n);
+
+/// Brassil–Cruz [BC]: destination-order priority greedy routes within
+/// diam + P + 2(k−1) on any regular network, where P is the length of a
+/// walk visiting all destinations.
+double brassil_cruz_bound(int diam, double walk_len, double k);
+
+/// Hajek [Haj]: greedy priority routing on the 2^m-node hypercube finishes
+/// within 2k + m steps.
+double hajek_bound(double k, int dim);
+
+/// [BTS]/[Fe]/[BRS]: greedy routing on the 2-D mesh within
+/// 2(k−1) + d_max where d_max is the largest origin→destination distance.
+double bts_bound(double k, int dmax);
+
+/// Trivial lower bound for any algorithm: the largest origin→destination
+/// distance in the instance.
+double distance_lower_bound(int dmax);
+
+/// Single-target lower bound: the destination absorbs at most `in_degree`
+/// packets per step and the farthest packet needs d_max steps, so time is
+/// at least max(d_max, ceil(k / in_degree)).
+double single_target_lower_bound(double k, int dmax, int in_degree);
+
+/// Upper bound on the initial total potential: Φ(0) ≤ k · M.
+double phi0_upper(double k, double M);
+
+}  // namespace hp::core

@@ -1,0 +1,89 @@
+#include "core/hard_instance.hpp"
+
+#include <numeric>
+
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace hp::core {
+
+namespace {
+
+std::uint64_t evaluate(const net::Mesh& mesh, const workload::Problem& problem,
+                       const PolicyFactory& factory) {
+  auto policy = factory();
+  HP_REQUIRE(policy->deterministic(),
+             "hard-instance search needs a deterministic policy");
+  sim::EngineConfig config;
+  config.max_steps = 1'000'000;
+  sim::Engine engine(mesh, problem, *policy, config);
+  const auto result = engine.run();
+  HP_CHECK(result.completed,
+           result.livelocked ? "policy livelocked during hard-instance search"
+                             : "policy timed out during hard-instance search");
+  return result.steps;
+}
+
+workload::Problem random_permutation_problem(const net::Mesh& mesh, Rng& rng) {
+  const auto n = static_cast<net::NodeId>(mesh.num_nodes());
+  std::vector<net::NodeId> dest(static_cast<std::size_t>(n));
+  std::iota(dest.begin(), dest.end(), 0);
+  rng.shuffle(std::span<net::NodeId>(dest));
+  workload::Problem p;
+  p.name = "hard-search";
+  for (net::NodeId v = 0; v < n; ++v) {
+    p.packets.push_back({v, dest[static_cast<std::size_t>(v)]});
+  }
+  return p;
+}
+
+}  // namespace
+
+HardSearchResult search_hard_permutation(const net::Mesh& mesh,
+                                         const PolicyFactory& factory,
+                                         HardSearchConfig config) {
+  HP_REQUIRE(config.evaluations >= config.restarts && config.restarts >= 1,
+             "evaluation budget must cover every restart");
+  Rng rng(config.seed);
+  HardSearchResult result;
+
+  const std::size_t per_restart = config.evaluations / config.restarts;
+  for (std::size_t restart = 0; restart < config.restarts; ++restart) {
+    workload::Problem current = random_permutation_problem(mesh, rng);
+    std::uint64_t current_steps = evaluate(mesh, current, factory);
+    ++result.evaluations;
+    if (result.evaluations == 1) result.baseline_steps = current_steps;
+    if (current_steps > result.worst_steps) {
+      result.worst_steps = current_steps;
+      result.worst = current;
+    }
+    result.trajectory.push_back(result.worst_steps);
+
+    for (std::size_t it = 1; it < per_restart; ++it) {
+      workload::Problem candidate = current;
+      for (int s = 0; s < config.swaps_per_mutation; ++s) {
+        const auto i = rng.uniform(candidate.packets.size());
+        const auto j = rng.uniform(candidate.packets.size());
+        std::swap(candidate.packets[i].dst, candidate.packets[j].dst);
+      }
+      const std::uint64_t steps = evaluate(mesh, candidate, factory);
+      ++result.evaluations;
+      // Plateau-accepting hill climb: equal objective still moves, which
+      // lets the search drift across neutral ridges.
+      if (steps >= current_steps) {
+        current = std::move(candidate);
+        current_steps = steps;
+      }
+      if (steps > result.worst_steps) {
+        result.worst_steps = steps;
+        result.worst = current;
+      }
+      result.trajectory.push_back(result.worst_steps);
+    }
+  }
+  result.worst.name = "hard-search-worst";
+  return result;
+}
+
+}  // namespace hp::core

@@ -1,0 +1,53 @@
+// Adversarial hard-instance search.
+//
+// Section 6.1 reports that [BCS] constructed permutations forcing a
+// specific restricted-priority greedy algorithm to Ω(n²) steps on the n×n
+// mesh — proving the paper's O(n√k) = O(n²) analysis tight for this class.
+// This module searches for slow instances automatically: hill-climbing
+// over permutations (destination swaps) with random restarts, maximizing
+// the measured routing time of a deterministic policy. It both produces
+// concrete stress instances and quantifies the average-vs-adversarial gap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/policy.hpp"
+#include "topology/mesh.hpp"
+#include "workload/workload.hpp"
+
+namespace hp::core {
+
+using PolicyFactory = std::function<std::unique_ptr<sim::RoutingPolicy>()>;
+
+struct HardSearchConfig {
+  /// Total instance evaluations (each is one full routing run).
+  std::size_t evaluations = 500;
+  /// Random restarts; the budget is split evenly across them.
+  std::size_t restarts = 4;
+  /// Destination swaps applied per mutation.
+  int swaps_per_mutation = 1;
+  std::uint64_t seed = 1;
+};
+
+struct HardSearchResult {
+  workload::Problem worst;             ///< slowest instance found
+  std::uint64_t worst_steps = 0;       ///< its routing time
+  std::uint64_t baseline_steps = 0;    ///< routing time of the first
+                                       ///< (random) instance, for contrast
+  std::size_t evaluations = 0;
+  /// Best-so-far routing time after each evaluation (for plotting search
+  /// progress).
+  std::vector<std::uint64_t> trajectory;
+};
+
+/// Hill-climbs over permutations of `mesh`'s nodes to maximize the routing
+/// time of the policy produced by `factory` (which must build
+/// deterministic policies — otherwise the objective is noise).
+HardSearchResult search_hard_permutation(const net::Mesh& mesh,
+                                         const PolicyFactory& factory,
+                                         HardSearchConfig config = {});
+
+}  // namespace hp::core

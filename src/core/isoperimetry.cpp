@@ -1,0 +1,185 @@
+#include "core/isoperimetry.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hp::core {
+
+CellSet::CellSet(int d) : d_(d) {
+  HP_REQUIRE(d >= 1 && d <= net::kMaxDim, "dimension out of range");
+}
+
+std::uint64_t CellSet::key(const net::Coord& c) const {
+  HP_REQUIRE(static_cast<int>(c.size()) == d_, "coordinate arity mismatch");
+  std::uint64_t k = 0;
+  for (int a = 0; a < d_; ++a) {
+    const int x = c[static_cast<std::size_t>(a)];
+    HP_REQUIRE(x >= 0 && x <= 255, "cell coordinate out of [0,255]");
+    k = (k << 8) | static_cast<std::uint64_t>(x);
+  }
+  return k;
+}
+
+bool CellSet::contains(const net::Coord& c) const {
+  for (int a = 0; a < d_; ++a) {
+    const int x = c[static_cast<std::size_t>(a)];
+    if (x < 0 || x > 255) return false;
+  }
+  return index_.contains(key(c));
+}
+
+bool CellSet::add(const net::Coord& c) {
+  if (!index_.insert(key(c)).second) return false;
+  cells_.push_back(c);
+  return true;
+}
+
+std::size_t CellSet::surface_area() const {
+  std::size_t faces = 0;
+  for (const net::Coord& c : cells_) {
+    for (int a = 0; a < d_; ++a) {
+      for (int sign : {-1, +1}) {
+        net::Coord nb = c;
+        nb[static_cast<std::size_t>(a)] += sign;
+        if (!contains(nb)) ++faces;
+      }
+    }
+  }
+  return faces;
+}
+
+std::size_t CellSet::projection_size(int dropped_axis) const {
+  HP_REQUIRE(dropped_axis >= 0 && dropped_axis < d_, "axis out of range");
+  std::unordered_set<std::uint64_t> shadow;
+  for (const net::Coord& c : cells_) {
+    std::uint64_t k = 0;
+    for (int a = 0; a < d_; ++a) {
+      if (a == dropped_axis) continue;
+      k = (k << 8) | static_cast<std::uint64_t>(c[static_cast<std::size_t>(a)]);
+    }
+    shadow.insert(k);
+  }
+  return shadow.size();
+}
+
+double claim13_bound(int d, double volume) {
+  if (volume <= 0) return 0.0;
+  const double dd = static_cast<double>(d);
+  return 2.0 * dd * std::pow(volume, (dd - 1.0) / dd);
+}
+
+std::size_t projection_surface_lower_bound(const CellSet& cells) {
+  std::size_t total = 0;
+  for (int a = 0; a < cells.dim(); ++a) {
+    total += cells.projection_size(a);
+  }
+  return 2 * total;
+}
+
+CellSet make_box(const std::vector<int>& sides) {
+  const int d = static_cast<int>(sides.size());
+  CellSet set(d);
+  net::Coord c;
+  for (int a = 0; a < d; ++a) {
+    HP_REQUIRE(sides[static_cast<std::size_t>(a)] >= 1, "empty box side");
+    c.push_back(0);
+  }
+  // Odometer enumeration of the box.
+  while (true) {
+    set.add(c);
+    int a = 0;
+    while (a < d) {
+      if (++c[static_cast<std::size_t>(a)] <
+          sides[static_cast<std::size_t>(a)]) {
+        break;
+      }
+      c[static_cast<std::size_t>(a)] = 0;
+      ++a;
+    }
+    if (a == d) break;
+  }
+  return set;
+}
+
+CellSet make_line(int d, int axis, int len) {
+  HP_REQUIRE(axis >= 0 && axis < d, "axis out of range");
+  HP_REQUIRE(len >= 1, "empty line");
+  CellSet set(d);
+  for (int i = 0; i < len; ++i) {
+    net::Coord c;
+    for (int a = 0; a < d; ++a) c.push_back(a == axis ? i : 0);
+    set.add(c);
+  }
+  return set;
+}
+
+CellSet make_cross(int d, int arm) {
+  HP_REQUIRE(arm >= 1, "empty cross arm");
+  CellSet set(d);
+  const int center = arm + 1;
+  for (int a = 0; a < d; ++a) {
+    for (int i = -arm; i <= arm; ++i) {
+      net::Coord c;
+      for (int b = 0; b < d; ++b) c.push_back(b == a ? center + i : center);
+      set.add(c);
+    }
+  }
+  return set;
+}
+
+CellSet make_random_blob(int d, std::size_t volume, Rng& rng) {
+  HP_REQUIRE(volume >= 1, "empty blob");
+  CellSet set(d);
+  net::Coord seed;
+  for (int a = 0; a < d; ++a) seed.push_back(128);
+  set.add(seed);
+  std::vector<net::Coord> frontier{seed};
+  while (set.volume() < volume && !frontier.empty()) {
+    const std::size_t pick = rng.uniform(frontier.size());
+    net::Coord base = frontier[pick];
+    // Try the neighbors of the picked cell in random order.
+    InlineVector<int, 2 * net::kMaxDim> dirs;
+    for (int i = 0; i < 2 * d; ++i) dirs.push_back(i);
+    rng.shuffle(std::span<int>(dirs.data(), dirs.size()));
+    bool grew = false;
+    for (int dir : dirs) {
+      net::Coord nb = base;
+      const int a = dir / 2;
+      nb[static_cast<std::size_t>(a)] += (dir % 2 == 0) ? 1 : -1;
+      const int x = nb[static_cast<std::size_t>(a)];
+      if (x < 0 || x > 255 || set.contains(nb)) continue;
+      set.add(nb);
+      frontier.push_back(nb);
+      grew = true;
+      break;
+    }
+    if (!grew) {
+      frontier[pick] = frontier.back();
+      frontier.pop_back();
+    }
+  }
+  HP_CHECK(set.volume() == volume, "blob growth ran out of space");
+  return set;
+}
+
+CellSet make_staircase(int d, int len) {
+  HP_REQUIRE(d >= 2, "staircase needs d >= 2");
+  HP_REQUIRE(len >= 1 && len <= 255, "staircase length out of range");
+  CellSet set(d);
+  for (int i = 0; i < len; ++i) {
+    net::Coord c;
+    c.push_back(i);
+    c.push_back(i);
+    for (int a = 2; a < d; ++a) c.push_back(0);
+    set.add(c);
+    if (i + 1 < len) {
+      net::Coord c2 = c;
+      c2[0] += 1;  // connect the diagonal steps
+      set.add(c2);
+    }
+  }
+  return set;
+}
+
+}  // namespace hp::core

@@ -1,0 +1,44 @@
+#include "core/parity.hpp"
+
+#include <algorithm>
+
+#include "core/bounds.hpp"
+#include "util/check.hpp"
+
+namespace hp::core {
+
+int movement_parity(const net::Mesh& mesh, net::NodeId node) {
+  int sum = 0;
+  for (int a = 0; a < mesh.dim(); ++a) sum += mesh.coord(node, a);
+  return sum & 1;
+}
+
+std::array<workload::Problem, 2> parity_split(
+    const net::Mesh& mesh, const workload::Problem& problem) {
+  HP_REQUIRE(!mesh.wraps(),
+             "parity splitting relies on the mesh's bipartite structure; "
+             "an odd torus is not bipartite");
+  std::array<workload::Problem, 2> classes;
+  classes[0].name = problem.name + "/even";
+  classes[1].name = problem.name + "/odd";
+  for (const auto& spec : problem.packets) {
+    classes[static_cast<std::size_t>(movement_parity(mesh, spec.src))]
+        .packets.push_back(spec);
+  }
+  return classes;
+}
+
+double parity_split_bound(const net::Mesh& mesh,
+                          const workload::Problem& problem) {
+  const auto classes = parity_split(mesh, problem);
+  double bound = 0.0;
+  for (const auto& cls : classes) {
+    if (cls.packets.empty()) continue;
+    bound = std::max(bound,
+                     thm20_bound(mesh.side(),
+                                 static_cast<double>(cls.packets.size())));
+  }
+  return bound;
+}
+
+}  // namespace hp::core

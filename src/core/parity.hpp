@@ -1,0 +1,35 @@
+// The Remark after Theorem 20: parity splitting.
+//
+// On the mesh, the parity of (Σ position coordinates + t) is invariant —
+// every step moves a packet across exactly one axis. Hence packets whose
+// origins have different coordinate-sum parities can NEVER meet, and a
+// hot-potato routing problem decomposes into two completely independent
+// sub-problems. For a full permutation (k = n²) each class holds n²/2
+// packets, sharpening Theorem 20 from 8√2·n·√(n²) to 8√2·n·√(n²/2) = 8n².
+#pragma once
+
+#include <array>
+
+#include "topology/mesh.hpp"
+#include "workload/workload.hpp"
+
+namespace hp::core {
+
+/// Movement parity of a node: (Σ coordinates) mod 2. Two packets can be
+/// co-located at step t only if origin_parity ⊕ (t mod 2) agrees — i.e.
+/// only if their origin parities agree.
+int movement_parity(const net::Mesh& mesh, net::NodeId node);
+
+/// Splits `problem` into its two non-interacting parity classes. The
+/// result's [0] holds packets with even origin parity, [1] odd. Packet
+/// order within each class follows the original problem.
+std::array<workload::Problem, 2> parity_split(const net::Mesh& mesh,
+                                              const workload::Problem& problem);
+
+/// The Remark's sharpened bound for a problem: max over the two classes
+/// of thm20_bound(n, k_class) — valid because the classes route
+/// independently and concurrently.
+double parity_split_bound(const net::Mesh& mesh,
+                          const workload::Problem& problem);
+
+}  // namespace hp::core

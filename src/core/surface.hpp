@@ -1,0 +1,67 @@
+// Good/bad nodes and surface arcs (Definitions 9 and 11, Lemma 14).
+//
+// A node is *bad* at a step if it holds more than d packets, else *good*.
+// A surface arc goes out of a bad node S in a direction whose 2-neighbor
+// (Definition 4) is good or absent; arcs leading off the mesh from a bad
+// edge node also count. Lemma 14 lower-bounds the number of surface arcs
+// F(t) by (2d)^{1/d} · B(t)^{(d−1)/d}, where B(t) is the number of packets
+// in bad nodes — the paper's bridge from congestion volume to guaranteed
+// potential loss.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/observer.hpp"
+#include "topology/mesh.hpp"
+
+namespace hp::core {
+
+/// Congestion metrics of one configuration (one step, pre-move).
+struct CongestionSnapshot {
+  std::int64_t packets_in_bad = 0;   ///< B(t)
+  std::int64_t packets_in_good = 0;  ///< G(t)
+  std::int64_t bad_nodes = 0;
+  std::int64_t surface_arcs = 0;  ///< F(t)
+};
+
+/// Computes B, G, F for an occupancy vector (packets per node) on a mesh.
+/// `occupancy` must have one entry per node.
+CongestionSnapshot analyze_congestion(const net::Mesh& mesh,
+                                      const std::vector<int>& occupancy);
+
+/// Lemma 14's lower bound on the surface-arc count.
+double lemma14_bound(int d, double packets_in_bad);
+
+/// Observer recording B(t), G(t), F(t) for every step of a run and checking
+/// Lemma 14 as it goes.
+class SurfaceTracker : public sim::StepObserver {
+ public:
+  explicit SurfaceTracker(const net::Mesh& mesh);
+
+  void on_step(const sim::Engine& engine,
+               const sim::StepRecord& record) override;
+
+  const std::vector<std::int64_t>& b_series() const { return b_; }
+  const std::vector<std::int64_t>& g_series() const { return g_; }
+  const std::vector<std::int64_t>& f_series() const { return f_; }
+
+  /// Steps at which F(t) < (2d)^{1/d} B(t)^{(d−1)/d} (expected: none).
+  const std::vector<std::uint64_t>& lemma14_violations() const {
+    return lemma14_violations_;
+  }
+  /// Minimum of F(t) / lemma14_bound(B(t)) over steps with B(t) > 0;
+  /// ≥ 1 iff Lemma 14 held. Returns +inf if congestion never occurred.
+  double min_lemma14_ratio() const { return min_ratio_; }
+
+ private:
+  const net::Mesh& mesh_;
+  std::vector<int> occupancy_;
+  std::vector<net::NodeId> touched_;
+  std::vector<std::int64_t> b_, g_, f_;
+  std::vector<std::uint64_t> lemma14_violations_;
+  double min_ratio_;
+};
+
+}  // namespace hp::core

@@ -1,0 +1,50 @@
+#include "routing/brassil_cruz.hpp"
+
+#include "util/check.hpp"
+
+namespace hp::routing {
+
+namespace {
+
+PriorityGreedyPolicy::Options options_with(DeflectRule deflect) {
+  PriorityGreedyPolicy::Options options;
+  options.deflect = deflect;
+  return options;
+}
+
+}  // namespace
+
+BrassilCruzPolicy::BrassilCruzPolicy(std::vector<int> dest_rank,
+                                     DeflectRule deflect)
+    : PriorityGreedyPolicy(options_with(deflect)),
+      dest_rank_(std::move(dest_rank)) {
+  HP_REQUIRE(!dest_rank_.empty(), "empty destination rank vector");
+}
+
+int BrassilCruzPolicy::rank(const sim::NodeContext& /*ctx*/,
+                            const sim::PacketView& packet) const {
+  HP_CHECK(static_cast<std::size_t>(packet.dst) < dest_rank_.size(),
+           "destination outside the rank vector");
+  return dest_rank_[static_cast<std::size_t>(packet.dst)];
+}
+
+std::string BrassilCruzPolicy::name() const { return "brassil-cruz"; }
+
+std::vector<int> snake_rank(const net::Mesh& mesh) {
+  HP_REQUIRE(mesh.dim() == 2, "snake_rank is defined for 2-D meshes");
+  const int n = mesh.side();
+  std::vector<int> rank(mesh.num_nodes());
+  int next = 0;
+  for (int y = 0; y < n; ++y) {
+    for (int i = 0; i < n; ++i) {
+      const int x = (y % 2 == 0) ? i : n - 1 - i;
+      net::Coord c;
+      c.push_back(x);
+      c.push_back(y);
+      rank[static_cast<std::size_t>(mesh.node_at(c))] = next++;
+    }
+  }
+  return rank;
+}
+
+}  // namespace hp::routing

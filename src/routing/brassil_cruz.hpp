@@ -1,0 +1,41 @@
+// Brassil–Cruz destination-order priority routing [BC].
+//
+// For any regular network with undirected edges, fix an order on the
+// destinations (a walk visiting all of them) and give packets priority by
+// the rank of their destination in that order. Brassil and Cruz bound the
+// routing time by diam + P + 2(k−1), where P is the length of the walk.
+// This is the "structured priority" baseline the paper contrasts greedy
+// algorithms with: termination is guaranteed, but the priority is global
+// and oblivious to the actual congestion.
+#pragma once
+
+#include <vector>
+
+#include "routing/greedy_base.hpp"
+#include "topology/mesh.hpp"
+
+namespace hp::routing {
+
+class BrassilCruzPolicy : public PriorityGreedyPolicy {
+ public:
+  /// `dest_rank[v]` is the rank of node v in the destination walk; lower
+  /// ranks win. Must cover every node of the network.
+  explicit BrassilCruzPolicy(std::vector<int> dest_rank,
+                             DeflectRule deflect = DeflectRule::kFirstFree);
+
+  std::string name() const override;
+
+ protected:
+  int rank(const sim::NodeContext& ctx,
+           const sim::PacketView& packet) const override;
+
+ private:
+  std::vector<int> dest_rank_;
+};
+
+/// The canonical destination walk on a 2-D mesh: row-major boustrophedon
+/// ("snake") order, a Hamiltonian path of length n² − 1. Returns the rank
+/// vector to feed BrassilCruzPolicy, with walk length P = n² − 1.
+std::vector<int> snake_rank(const net::Mesh& mesh);
+
+}  // namespace hp::routing

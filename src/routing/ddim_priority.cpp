@@ -1,0 +1,31 @@
+#include "routing/ddim_priority.hpp"
+
+namespace hp::routing {
+
+namespace {
+
+PriorityGreedyPolicy::Options to_options(
+    const DdimPriorityPolicy::Params& params) {
+  PriorityGreedyPolicy::Options options;
+  options.maximize_advancing = true;  // the Section 5 requirement
+  options.deflect = params.deflect;
+  options.randomize_ties = params.randomize_ties;
+  return options;
+}
+
+}  // namespace
+
+DdimPriorityPolicy::DdimPriorityPolicy(Params params)
+    : PriorityGreedyPolicy(to_options(params)) {}
+
+int DdimPriorityPolicy::rank(const sim::NodeContext& /*ctx*/,
+                             const sim::PacketView& packet) const {
+  return packet.num_good();
+}
+
+std::string DdimPriorityPolicy::name() const {
+  return options().randomize_ties ? "ddim-priority/random-ties"
+                                  : "ddim-priority";
+}
+
+}  // namespace hp::routing

@@ -1,0 +1,31 @@
+// The Section 5 algorithm class for d-dimensional meshes: prefer packets
+// with fewer good directions, and maximize the number of advancing packets
+// at every node. The paper shows (proof sketched; details in [Hal]/[BHS])
+// that this class routes k packets on the n^d mesh within
+// 4^{d+1−1/d} · d^{1−1/d} · k^{1/d} · n^{d−1} steps.
+#pragma once
+
+#include "routing/greedy_base.hpp"
+
+namespace hp::routing {
+
+class DdimPriorityPolicy : public PriorityGreedyPolicy {
+ public:
+  struct Params {
+    DeflectRule deflect = DeflectRule::kFirstFree;
+    bool randomize_ties = false;
+  };
+
+  DdimPriorityPolicy() : DdimPriorityPolicy(Params{}) {}
+  explicit DdimPriorityPolicy(Params params);
+
+  std::string name() const override;
+
+ protected:
+  /// Priority is the number of good directions: the most constrained
+  /// packets route first.
+  int rank(const sim::NodeContext& ctx,
+           const sim::PacketView& packet) const override;
+};
+
+}  // namespace hp::routing

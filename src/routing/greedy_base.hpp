@@ -1,0 +1,55 @@
+// Base class for priority-driven greedy hot-potato policies.
+//
+// A concrete policy only defines a priority *rank* for each resident packet
+// (lower rank routes first); the base class orders packets, runs the
+// matching machinery, and handles deflections. Every policy built this way
+// is greedy in the sense of Definition 6 by construction — the test suite
+// additionally verifies this with core::GreedyChecker on live runs.
+#pragma once
+
+#include <string>
+
+#include "routing/matching.hpp"
+#include "sim/policy.hpp"
+
+namespace hp::routing {
+
+class PriorityGreedyPolicy : public sim::RoutingPolicy {
+ public:
+  struct Options {
+    /// Use Kuhn augmenting paths to maximize the number of advancing
+    /// packets (the Section 5 requirement); otherwise sequential maximal
+    /// matching suffices for greediness.
+    bool maximize_advancing = false;
+    /// Arc choice for deflected packets.
+    DeflectRule deflect = DeflectRule::kFirstFree;
+    /// Break ties among equal-rank packets uniformly at random (costs
+    /// determinism); otherwise ties resolve by arrival order, which is
+    /// ascending packet id.
+    bool randomize_ties = false;
+  };
+
+  explicit PriorityGreedyPolicy(Options options) : options_(options) {}
+
+  void route(const sim::NodeContext& ctx,
+             std::span<const sim::PacketView> packets,
+             std::span<net::Dir> out) final;
+
+  bool deterministic() const override {
+    return !options_.randomize_ties && options_.deflect != DeflectRule::kRandom;
+  }
+
+  const Options& options() const { return options_; }
+
+ protected:
+  /// Priority rank of one packet at this node; lower ranks are routed
+  /// (and therefore advanced) first. Must be a deterministic function of
+  /// its arguments.
+  virtual int rank(const sim::NodeContext& ctx,
+                   const sim::PacketView& packet) const = 0;
+
+ private:
+  Options options_;
+};
+
+}  // namespace hp::routing

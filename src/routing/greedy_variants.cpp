@@ -1,0 +1,57 @@
+#include "routing/greedy_variants.hpp"
+
+namespace hp::routing {
+
+namespace {
+
+PriorityGreedyPolicy::Options options_with(DeflectRule deflect,
+                                           bool randomize) {
+  PriorityGreedyPolicy::Options options;
+  options.deflect = deflect;
+  options.randomize_ties = randomize;
+  return options;
+}
+
+}  // namespace
+
+GreedyRandomPolicy::GreedyRandomPolicy()
+    : PriorityGreedyPolicy(options_with(DeflectRule::kRandom, true)) {}
+
+int GreedyRandomPolicy::rank(const sim::NodeContext& /*ctx*/,
+                             const sim::PacketView& /*packet*/) const {
+  return 0;  // order comes entirely from the shuffle
+}
+
+std::string GreedyRandomPolicy::name() const { return "greedy-random"; }
+
+FurthestFirstPolicy::FurthestFirstPolicy(DeflectRule deflect)
+    : PriorityGreedyPolicy(options_with(deflect, false)) {}
+
+int FurthestFirstPolicy::rank(const sim::NodeContext& ctx,
+                              const sim::PacketView& packet) const {
+  return -ctx.net.distance(ctx.node, packet.dst);
+}
+
+std::string FurthestFirstPolicy::name() const { return "furthest-first"; }
+
+ClosestFirstPolicy::ClosestFirstPolicy(DeflectRule deflect)
+    : PriorityGreedyPolicy(options_with(deflect, false)) {}
+
+int ClosestFirstPolicy::rank(const sim::NodeContext& ctx,
+                             const sim::PacketView& packet) const {
+  return ctx.net.distance(ctx.node, packet.dst);
+}
+
+std::string ClosestFirstPolicy::name() const { return "closest-first"; }
+
+IdPriorityPolicy::IdPriorityPolicy(DeflectRule deflect)
+    : PriorityGreedyPolicy(options_with(deflect, false)) {}
+
+int IdPriorityPolicy::rank(const sim::NodeContext& /*ctx*/,
+                           const sim::PacketView& packet) const {
+  return packet.id;
+}
+
+std::string IdPriorityPolicy::name() const { return "id-priority"; }
+
+}  // namespace hp::routing

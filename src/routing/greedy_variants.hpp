@@ -1,0 +1,58 @@
+// Plain greedy tie-break variants. These are greedy per Definition 6 but do
+// NOT necessarily prefer restricted packets, so Theorem 20 does not cover
+// them — the baseline experiments measure how they behave regardless.
+#pragma once
+
+#include "routing/greedy_base.hpp"
+
+namespace hp::routing {
+
+/// Uniformly random priorities and random deflections each step — the
+/// "simplest possible" greedy algorithm the paper's introduction alludes
+/// to (Baran / Borodin–Hopcroft style).
+class GreedyRandomPolicy : public PriorityGreedyPolicy {
+ public:
+  GreedyRandomPolicy();
+  std::string name() const override;
+
+ protected:
+  int rank(const sim::NodeContext& ctx,
+           const sim::PacketView& packet) const override;
+};
+
+/// Priority to packets farthest from their destination.
+class FurthestFirstPolicy : public PriorityGreedyPolicy {
+ public:
+  explicit FurthestFirstPolicy(DeflectRule deflect = DeflectRule::kFirstFree);
+  std::string name() const override;
+
+ protected:
+  int rank(const sim::NodeContext& ctx,
+           const sim::PacketView& packet) const override;
+};
+
+/// Priority to packets closest to their destination.
+class ClosestFirstPolicy : public PriorityGreedyPolicy {
+ public:
+  explicit ClosestFirstPolicy(DeflectRule deflect = DeflectRule::kFirstFree);
+  std::string name() const override;
+
+ protected:
+  int rank(const sim::NodeContext& ctx,
+           const sim::PacketView& packet) const override;
+};
+
+/// Fixed total order by packet id — the batch analogue of "oldest packet
+/// first". On the hypercube this is the algorithm class for which Hajek
+/// proved the 2k + n evacuation bound (see routing/hajek_hypercube.hpp).
+class IdPriorityPolicy : public PriorityGreedyPolicy {
+ public:
+  explicit IdPriorityPolicy(DeflectRule deflect = DeflectRule::kFirstFree);
+  std::string name() const override;
+
+ protected:
+  int rank(const sim::NodeContext& ctx,
+           const sim::PacketView& packet) const override;
+};
+
+}  // namespace hp::routing

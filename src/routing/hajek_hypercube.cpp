@@ -1,0 +1,4 @@
+#include "routing/hajek_hypercube.hpp"
+
+// Behaviour lives in IdPriorityPolicy; this unit anchors the header.
+namespace hp::routing {}

@@ -1,0 +1,26 @@
+// Hajek's greedy hot-potato routing on the hypercube [Haj].
+//
+// Hajek showed that a simple greedy algorithm on the 2^m-node hypercube
+// evacuates any batch of k packets within 2k + m steps. The algorithm is a
+// fixed-priority greedy: one packet (the current "leader") is never
+// deflected, and finishes within m steps of becoming leader; amortizing
+// over packets gives the bound. In the batch setting a fixed total order
+// by packet id realizes this scheme. The bench harness checks the 2k + m
+// bound empirically against this implementation.
+#pragma once
+
+#include "routing/greedy_variants.hpp"
+#include "topology/hypercube.hpp"
+
+namespace hp::routing {
+
+/// Id-priority greedy specialized (by name and by the bound it is checked
+/// against) to the hypercube.
+class HajekHypercubePolicy : public IdPriorityPolicy {
+ public:
+  explicit HajekHypercubePolicy(DeflectRule deflect = DeflectRule::kFirstFree)
+      : IdPriorityPolicy(deflect) {}
+  std::string name() const override { return "hajek-hypercube"; }
+};
+
+}  // namespace hp::routing

@@ -1,0 +1,51 @@
+// Per-node packet-to-arc assignment machinery shared by every greedy policy.
+//
+// Routing one node for one step is a bipartite matching problem between the
+// resident packets and their good arcs. Two facts make this the right
+// abstraction for the paper's algorithm classes:
+//
+//  * Any *maximal* matching yields a greedy algorithm (Definition 6): if a
+//    deflected packet still had a free good arc, the matching was not
+//    maximal.
+//  * Processing packets in a priority order and never unmatching an
+//    already-matched packet realizes "preference": a lower-priority packet
+//    can never steal the arc that would have advanced a higher-priority
+//    one. With augmenting paths (Kuhn's algorithm) the result is in
+//    addition a *maximum* matching — Section 5's "maximize the number of
+//    advancing packets" requirement — while matched packets stay matched.
+#pragma once
+
+#include <span>
+
+#include "sim/policy.hpp"
+
+namespace hp::routing {
+
+/// How packets that could not advance pick among the remaining free arcs.
+/// (After a maximal matching every free arc is bad for every deflected
+/// packet, so this choice never affects greediness — only future dynamics.)
+enum class DeflectRule {
+  kFirstFree,      ///< lowest direction label (deterministic)
+  kRandom,         ///< uniformly random free arc
+  kReverseEntry,   ///< send the packet back where it came from if possible
+  kStraight,       ///< keep the packet moving in its entry direction
+};
+
+/// Sequential greedy matching: packets, visited in `order` (indices into
+/// `packets`), grab their first free good arc; packets left without one are
+/// deflected per `rule`. Produces a maximal matching, hence a greedy
+/// assignment. Writes out[i] for every packet i.
+void assign_sequential(const sim::NodeContext& ctx,
+                       std::span<const sim::PacketView> packets,
+                       std::span<const std::size_t> order, DeflectRule rule,
+                       std::span<net::Dir> out);
+
+/// Priority-preserving maximum matching (Kuhn's augmenting paths), then
+/// deflection per `rule`. Earlier packets in `order` never lose their
+/// match when later ones augment; the advancing set is maximum-cardinality.
+void assign_augmenting(const sim::NodeContext& ctx,
+                       std::span<const sim::PacketView> packets,
+                       std::span<const std::size_t> order, DeflectRule rule,
+                       std::span<net::Dir> out);
+
+}  // namespace hp::routing

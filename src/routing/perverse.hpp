@@ -1,0 +1,66 @@
+// Adversarial policies for the livelock experiments (Section 1.2).
+//
+// The paper warns that "it is rather easy to come up with a livelock
+// situation whenever greediness is the only routing policy" [NS1], [Haj].
+// Two policies support reproducing this:
+//
+//  * PerverseGreedyPolicy — still greedy per Definition 6, but chooses the
+//    most obstructive options the definition leaves free: it advances the
+//    packets that are *farthest* from their destinations and bounces every
+//    deflected packet straight back where it came from. Deterministic, so
+//    a repeated configuration is a livelock proof.
+//  * BounceBackPolicy — a NON-greedy hot-potato policy that returns every
+//    packet through its entry arc whenever possible. Even a single packet
+//    livelocks under it, demonstrating that hot-potato routing without the
+//    greediness requirement has no termination guarantee at all.
+//
+// The livelock_search utility sweeps random small instances under a
+// deterministic policy and reports proven cycles.
+#pragma once
+
+#include <optional>
+
+#include "routing/greedy_base.hpp"
+#include "topology/network.hpp"
+#include "workload/workload.hpp"
+
+namespace hp::routing {
+
+class PerverseGreedyPolicy : public PriorityGreedyPolicy {
+ public:
+  PerverseGreedyPolicy();
+  std::string name() const override;
+
+ protected:
+  int rank(const sim::NodeContext& ctx,
+           const sim::PacketView& packet) const override;
+};
+
+class BounceBackPolicy : public sim::RoutingPolicy {
+ public:
+  std::string name() const override { return "bounce-back"; }
+  bool deterministic() const override { return true; }
+  void route(const sim::NodeContext& ctx,
+             std::span<const sim::PacketView> packets,
+             std::span<net::Dir> out) override;
+};
+
+/// Outcome of a livelock search over random instances.
+struct LivelockSearchResult {
+  std::size_t instances_tried = 0;
+  std::size_t livelocks_found = 0;
+  /// First livelocking instance found, if any.
+  std::optional<workload::Problem> example;
+};
+
+/// Runs `instances` random problems with `num_packets` packets on `net`
+/// under a deterministic policy, each capped at `max_steps`, and counts
+/// proven livelocks (repeated configurations).
+LivelockSearchResult livelock_search(const net::Network& net,
+                                     sim::RoutingPolicy& policy,
+                                     std::size_t num_packets,
+                                     std::size_t instances,
+                                     std::uint64_t max_steps,
+                                     std::uint64_t seed);
+
+}  // namespace hp::routing

@@ -1,0 +1,57 @@
+#include "routing/restricted_priority.hpp"
+
+namespace hp::routing {
+
+namespace {
+
+PriorityGreedyPolicy::Options to_options(
+    const RestrictedPriorityPolicy::Params& params) {
+  PriorityGreedyPolicy::Options options;
+  options.maximize_advancing = params.maximize_advancing;
+  options.deflect = params.deflect;
+  options.randomize_ties =
+      params.tie_break == RestrictedPriorityPolicy::TieBreak::kRandom;
+  return options;
+}
+
+}  // namespace
+
+RestrictedPriorityPolicy::RestrictedPriorityPolicy(Params params)
+    : PriorityGreedyPolicy(to_options(params)), params_(params) {}
+
+int RestrictedPriorityPolicy::rank(const sim::NodeContext& /*ctx*/,
+                                   const sim::PacketView& packet) const {
+  if (!packet.restricted()) return 4;
+  switch (params_.tie_break) {
+    case TieBreak::kTypeAFirst:
+      return packet.type_a() ? 0 : 1;
+    case TieBreak::kTypeBFirst:
+      return packet.type_a() ? 1 : 0;
+    case TieBreak::kArrivalOrder:
+    case TieBreak::kRandom:
+      return 0;
+  }
+  return 0;
+}
+
+std::string RestrictedPriorityPolicy::name() const {
+  std::string n = "restricted-priority";
+  switch (params_.tie_break) {
+    case TieBreak::kArrivalOrder:
+      break;
+    case TieBreak::kRandom:
+      n += "/random-ties";
+      break;
+    case TieBreak::kTypeAFirst:
+      n += "/typeA-first";
+      break;
+    case TieBreak::kTypeBFirst:
+      n += "/typeB-first";
+      break;
+  }
+  if (options().maximize_advancing) n += "/max-adv";
+  if (options().deflect == DeflectRule::kRandom) n += "/random-deflect";
+  return n;
+}
+
+}  // namespace hp::routing

@@ -1,0 +1,49 @@
+// The paper's Section 4 algorithm class: greedy hot-potato routing that
+// prefers restricted packets (Definition 18).
+//
+// A packet is *restricted* when it has exactly one good direction. The
+// policy routes restricted packets before all others, so a nonrestricted
+// packet can never deflect a restricted one. Theorem 20: every algorithm
+// in this class routes any k-packet problem on the n×n mesh within
+// 8√2 · n · √k steps.
+//
+// Within the class the paper leaves tie-breaking free; the options below
+// span the choices our experiments sweep (they all stay inside the class).
+#pragma once
+
+#include "routing/greedy_base.hpp"
+
+namespace hp::routing {
+
+class RestrictedPriorityPolicy : public PriorityGreedyPolicy {
+ public:
+  /// Secondary order among packets of the same restrictedness class.
+  enum class TieBreak {
+    kArrivalOrder,  ///< ascending packet id (deterministic)
+    kRandom,        ///< uniform random
+    kTypeAFirst,    ///< Type A restricted packets before Type B
+    kTypeBFirst,    ///< Type B restricted packets before Type A
+  };
+
+  struct Params {
+    TieBreak tie_break = TieBreak::kArrivalOrder;
+    DeflectRule deflect = DeflectRule::kFirstFree;
+    /// Also maximize the number of advancing packets (harmless for the
+    /// 2-D analysis; required by the Section 5 generalization).
+    bool maximize_advancing = false;
+  };
+
+  RestrictedPriorityPolicy() : RestrictedPriorityPolicy(Params{}) {}
+  explicit RestrictedPriorityPolicy(Params params);
+
+  std::string name() const override;
+
+ protected:
+  int rank(const sim::NodeContext& ctx,
+           const sim::PacketView& packet) const override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace hp::routing

@@ -1,0 +1,30 @@
+#include "routing/single_target.hpp"
+
+namespace hp::routing {
+
+namespace {
+
+PriorityGreedyPolicy::Options options_with(DeflectRule deflect) {
+  PriorityGreedyPolicy::Options options;
+  options.deflect = deflect;
+  options.maximize_advancing = true;
+  return options;
+}
+
+}  // namespace
+
+SingleTargetPolicy::SingleTargetPolicy(DeflectRule deflect)
+    : PriorityGreedyPolicy(options_with(deflect)) {}
+
+int SingleTargetPolicy::rank(const sim::NodeContext& ctx,
+                             const sim::PacketView& packet) const {
+  // Closest first; among equal distances, restricted packets first. All
+  // packets share a destination, so distances at one node are equal and
+  // the restricted tie-break dominates within a node.
+  return 2 * ctx.net.distance(ctx.node, packet.dst) +
+         (packet.restricted() ? 0 : 1);
+}
+
+std::string SingleTargetPolicy::name() const { return "single-target"; }
+
+}  // namespace hp::routing

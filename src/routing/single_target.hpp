@@ -1,0 +1,25 @@
+// Single-target greedy routing ([BTS]-style).
+//
+// All k packets share one destination. Ben-Aroya, Tamar and Schuster give
+// a greedy single-target algorithm on the 2-D mesh that matches the
+// d_max + k lower bound. The essential ingredients are greediness plus
+// giving way to packets that are closer to the target (so the absorption
+// pipeline at the destination never starves); we realize this as a
+// closest-first priority with restricted packets breaking ties first.
+#pragma once
+
+#include "routing/greedy_base.hpp"
+
+namespace hp::routing {
+
+class SingleTargetPolicy : public PriorityGreedyPolicy {
+ public:
+  explicit SingleTargetPolicy(DeflectRule deflect = DeflectRule::kFirstFree);
+  std::string name() const override;
+
+ protected:
+  int rank(const sim::NodeContext& ctx,
+           const sim::PacketView& packet) const override;
+};
+
+}  // namespace hp::routing

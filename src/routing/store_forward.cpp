@@ -1,0 +1,111 @@
+#include "routing/store_forward.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.hpp"
+
+namespace hp::routing {
+
+namespace {
+
+/// Dimension-order next hop: the direction correcting the lowest-numbered
+/// axis on which the packet is not yet aligned with its destination.
+net::Dir next_dir(const net::Mesh& mesh, net::NodeId at, net::NodeId dst) {
+  for (int a = 0; a < mesh.dim(); ++a) {
+    const int here = mesh.coord(at, a);
+    const int want = mesh.coord(dst, a);
+    if (here == want) continue;
+    return net::Mesh::dir_of(a, want > here ? +1 : -1);
+  }
+  HP_CHECK(false, "next_dir called for a delivered packet");
+  return net::kInvalidDir;
+}
+
+}  // namespace
+
+StoreForwardResult run_store_forward(const net::Mesh& mesh,
+                                     const workload::Problem& problem,
+                                     std::uint64_t max_steps) {
+  problem.validate(mesh);
+
+  StoreForwardResult result;
+  result.arrival.assign(problem.size(), 0);
+  result.initial_distance.assign(problem.size(), 0);
+
+  const std::size_t num_dirs = static_cast<std::size_t>(mesh.num_dirs());
+  // FIFO per directed link, indexed node * num_dirs + dir.
+  std::vector<std::deque<std::size_t>> queue(mesh.num_nodes() * num_dirs);
+  std::vector<std::size_t> active;  // nonempty queue indices (deduplicated)
+  std::vector<std::uint8_t> is_active(queue.size(), 0);
+
+  auto enqueue = [&](std::size_t pkt, net::NodeId at, net::NodeId dst) {
+    const net::Dir d = next_dir(mesh, at, dst);
+    const std::size_t q = static_cast<std::size_t>(at) * num_dirs +
+                          static_cast<std::size_t>(d);
+    queue[q].push_back(pkt);
+    result.max_queue = std::max(result.max_queue, queue[q].size());
+    if (!is_active[q]) {
+      is_active[q] = 1;
+      active.push_back(q);
+    }
+  };
+
+  std::size_t remaining = 0;
+  for (std::size_t i = 0; i < problem.size(); ++i) {
+    const auto& spec = problem.packets[i];
+    result.initial_distance[i] = mesh.distance(spec.src, spec.dst);
+    if (spec.src == spec.dst) {
+      result.arrival[i] = 0;
+    } else {
+      enqueue(i, spec.src, spec.dst);
+      ++remaining;
+    }
+  }
+
+  std::uint64_t now = 0;
+  std::vector<std::pair<std::size_t, net::NodeId>> moved;  // packet, new node
+  while (remaining > 0 && now < max_steps) {
+    moved.clear();
+    // One packet crosses each busy link this step.
+    std::size_t write = 0;
+    for (std::size_t qi = 0; qi < active.size(); ++qi) {
+      const std::size_t q = active[qi];
+      auto& fifo = queue[q];
+      HP_CHECK(!fifo.empty(), "active queue is empty");
+      const std::size_t pkt = fifo.front();
+      fifo.pop_front();
+      const auto at = static_cast<net::NodeId>(q / num_dirs);
+      const auto dir = static_cast<net::Dir>(q % num_dirs);
+      const net::NodeId next = mesh.neighbor(at, dir);
+      HP_CHECK(next != net::kInvalidNode,
+               "dimension-order route left the mesh");
+      moved.emplace_back(pkt, next);
+      if (fifo.empty()) {
+        is_active[q] = 0;
+      } else {
+        active[write++] = q;  // stays active
+      }
+    }
+    active.resize(write);
+    ++now;
+
+    for (const auto& [pkt, at] : moved) {
+      const net::NodeId dst = problem.packets[pkt].dst;
+      if (at == dst) {
+        result.arrival[pkt] = now;
+        --remaining;
+      } else {
+        enqueue(pkt, at, dst);
+      }
+    }
+  }
+
+  result.completed = (remaining == 0);
+  result.steps = 0;
+  for (std::uint64_t t : result.arrival) result.steps = std::max(result.steps, t);
+  if (!result.completed) result.steps = now;
+  return result;
+}
+
+}  // namespace hp::routing

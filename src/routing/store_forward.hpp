@@ -1,0 +1,38 @@
+// Store-and-forward dimension-order routing — the structured, buffered
+// baseline of the paper's introduction.
+//
+// Packets follow the fixed dimension-order path (correct axis 0, then axis
+// 1, …) and wait in unbounded FIFO queues when their next link is busy;
+// one packet crosses each directed link per step. This is NOT a hot-potato
+// algorithm: it models the conventional routers the paper contrasts
+// greedy deflection routing against. The comparison experiments measure
+// its sensitivity to load and to a packet's initial distance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/mesh.hpp"
+#include "workload/workload.hpp"
+
+namespace hp::routing {
+
+struct StoreForwardResult {
+  bool completed = false;
+  /// Step at which the last packet arrived.
+  std::uint64_t steps = 0;
+  /// Largest FIFO occupancy observed on any link queue.
+  std::size_t max_queue = 0;
+  /// Per-packet arrival step, aligned with the problem's packet order.
+  std::vector<std::uint64_t> arrival;
+  /// Per-packet origin→destination distance.
+  std::vector<int> initial_distance;
+};
+
+/// Simulates dimension-order store-and-forward routing of `problem` on
+/// `mesh` with unbounded buffers.
+StoreForwardResult run_store_forward(const net::Mesh& mesh,
+                                     const workload::Problem& problem,
+                                     std::uint64_t max_steps = 10'000'000);
+
+}  // namespace hp::routing

@@ -1,0 +1,266 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hp::sim {
+
+Engine::Engine(const net::Network& net, const workload::Problem& problem,
+               RoutingPolicy& policy, EngineConfig config)
+    : net_(net),
+      policy_(policy),
+      config_(config),
+      rng_(config.seed),
+      occupancy_(net.num_nodes()),
+      node_stamp_(net.num_nodes(), ~std::uint64_t{0}) {
+  problem.validate(net);
+  inject(problem);
+}
+
+void Engine::inject(const workload::Problem& problem) {
+  packets_.reserve(problem.packets.size());
+  PacketId next_id = 0;
+  for (const auto& spec : problem.packets) {
+    Packet p;
+    p.id = next_id++;
+    p.src = spec.src;
+    p.dst = spec.dst;
+    p.pos = spec.src;
+    p.initial_distance = net_.distance(spec.src, spec.dst);
+    if (p.pos == p.dst) {
+      // Trivial packet: delivered at injection, never routed.
+      p.arrived_at = 0;
+      ++delivered_;
+    } else {
+      ++in_flight_;
+    }
+    packets_.push_back(p);
+  }
+}
+
+void Engine::add_observer(StepObserver* observer) {
+  HP_REQUIRE(observer != nullptr, "null observer");
+  observers_.push_back(observer);
+}
+
+std::vector<PacketId> Engine::packets_at(net::NodeId node) const {
+  std::vector<PacketId> out;
+  for (const Packet& p : packets_) {
+    if (!p.arrived() && p.pos == node) out.push_back(p.id);
+  }
+  return out;
+}
+
+void Engine::build_occupancy() {
+  occupied_.clear();
+  for (const Packet& p : packets_) {
+    if (p.arrived()) continue;
+    const auto node = static_cast<std::size_t>(p.pos);
+    if (node_stamp_[node] != now_) {
+      node_stamp_[node] = now_;
+      occupancy_[node].clear();
+      occupied_.push_back(p.pos);
+    }
+    occupancy_[node].push_back(p.id);
+  }
+}
+
+void Engine::set_injector(Injector* injector) {
+  HP_REQUIRE(injector != nullptr, "null injector");
+  injector_ = injector;
+}
+
+bool Engine::try_inject(net::NodeId src, net::NodeId dst) {
+  HP_CHECK(injecting_now_,
+           "try_inject may only be called from an Injector during step()");
+  const auto n = static_cast<net::NodeId>(net_.num_nodes());
+  HP_REQUIRE(src >= 0 && src < n, "injection origin out of range");
+  HP_REQUIRE(dst >= 0 && dst < n, "injection destination out of range");
+
+  Packet p;
+  p.id = static_cast<PacketId>(packets_.size());
+  p.src = src;
+  p.dst = dst;
+  p.pos = src;
+  p.injected_at = now_;
+  p.initial_distance = net_.distance(src, dst);
+  if (src == dst) {
+    p.arrived_at = now_;
+    ++delivered_;
+    packets_.push_back(p);
+    return true;
+  }
+
+  // Capacity rule: a node never holds more packets than its out-degree.
+  const auto node = static_cast<std::size_t>(src);
+  if (node_stamp_[node] != now_) {
+    node_stamp_[node] = now_;
+    occupancy_[node].clear();
+    occupied_.push_back(src);
+  }
+  if (static_cast<int>(occupancy_[node].size()) >= net_.degree(src)) {
+    return false;
+  }
+  occupancy_[node].push_back(p.id);
+  packets_.push_back(p);
+  ++in_flight_;
+  return true;
+}
+
+void Engine::route_node(net::NodeId node,
+                        const std::vector<PacketId>& residents) {
+  const int degree = net_.degree(node);
+  HP_CHECK(static_cast<int>(residents.size()) <= degree,
+           "more packets at a node than its degree — model violation");
+
+  NodeContext ctx{net_, node, now_, {}, rng_};
+  for (net::Dir d = 0; d < net_.num_dirs(); ++d) {
+    if (net_.arc_exists(node, d)) ctx.avail_dirs.push_back(d);
+  }
+
+  InlineVector<PacketView, 2 * net::kMaxDim> views;
+  for (PacketId id : residents) {
+    const Packet& p = packets_[static_cast<std::size_t>(id)];
+    PacketView v;
+    v.id = id;
+    v.dst = p.dst;
+    v.entry_dir = p.last_move_dir;
+    v.good = net_.good_dirs(node, p.dst);
+    HP_CHECK(!v.good.empty(),
+             "packet with no good direction was not absorbed — engine bug");
+    v.prev_advanced = p.prev_advanced;
+    v.prev_num_good = p.prev_num_good;
+    views.push_back(v);
+  }
+
+  InlineVector<net::Dir, 2 * net::kMaxDim> out;
+  for (std::size_t i = 0; i < residents.size(); ++i) {
+    out.push_back(net::kInvalidDir);
+  }
+  policy_.route(ctx, std::span<const PacketView>(views.data(), views.size()),
+                std::span<net::Dir>(out.data(), out.size()));
+
+  // Validate the assignment: every packet got an existing arc and no arc
+  // is used twice (one packet per directed link per step).
+  std::uint32_t used_mask = 0;
+  for (std::size_t i = 0; i < residents.size(); ++i) {
+    const net::Dir d = out[i];
+    HP_CHECK(d >= 0 && d < net_.num_dirs(),
+             "policy '" + policy_.name() + "' returned an invalid direction");
+    HP_CHECK(net_.arc_exists(node, d),
+             "policy '" + policy_.name() + "' routed a packet off the mesh");
+    const std::uint32_t bit = std::uint32_t{1} << d;
+    HP_CHECK((used_mask & bit) == 0,
+             "policy '" + policy_.name() + "' put two packets on one arc");
+    used_mask |= bit;
+
+    Assignment a;
+    a.pkt = residents[i];
+    a.node = node;
+    a.out = d;
+    a.advances = views[i].good.contains(d);
+    a.num_good = views[i].num_good();
+    for (net::Dir g : views[i].good) a.good_mask |= std::uint32_t{1} << g;
+    a.was_type_a = views[i].type_a();
+    a.prev_advanced = views[i].prev_advanced;
+    a.prev_num_good = views[i].prev_num_good;
+    assignments_.push_back(a);
+  }
+}
+
+bool Engine::step() {
+  if ((in_flight_ == 0 && injector_ == nullptr) || livelocked_) return false;
+
+  assignments_.clear();
+  arrivals_.clear();
+  build_occupancy();
+  if (injector_ != nullptr) {
+    injecting_now_ = true;
+    injector_->inject(*this, now_);
+    injecting_now_ = false;
+  }
+  // Process nodes in a fixed order so runs are reproducible regardless of
+  // packet table order.
+  std::sort(occupied_.begin(), occupied_.end());
+
+  for (net::NodeId node : occupied_) {
+    route_node(node, occupancy_[static_cast<std::size_t>(node)]);
+  }
+
+  // Apply the movement.
+  for (const Assignment& a : assignments_) {
+    Packet& p = packets_[static_cast<std::size_t>(a.pkt)];
+    p.pos = net_.neighbor(a.node, a.out);
+    HP_CHECK(p.pos != net::kInvalidNode, "movement off the network");
+    p.last_move_dir = a.out;
+    p.prev_advanced = a.advances;
+    p.prev_num_good = a.num_good;
+    if (a.advances) {
+      ++total_advances_;
+    } else {
+      ++p.deflections;
+      ++total_deflections_;
+    }
+    if (p.pos == p.dst) {
+      p.arrived_at = now_ + 1;
+      last_arrival_ = now_ + 1;
+      --in_flight_;
+      ++delivered_;
+      arrivals_.push_back(p.id);
+    }
+  }
+
+  ++now_;
+
+  StepRecord record;
+  record.step = now_ - 1;
+  record.assignments = assignments_;
+  record.arrivals = arrivals_;
+  for (StepObserver* obs : observers_) {
+    obs->on_step(*this, record);
+  }
+
+  if (config_.detect_livelock && policy_.deterministic() &&
+      injector_ == nullptr && in_flight_ > 0) {
+    const auto repeat = livelock_.record(digest_state(packets_), now_);
+    if (repeat != LivelockDetector::kNoRepeat) livelocked_ = true;
+  }
+  return true;
+}
+
+RunResult Engine::run() {
+  HP_REQUIRE(injector_ == nullptr,
+             "run() is for batch problems; use run_for() with an injector");
+  while (in_flight_ > 0 && !livelocked_ && now_ < config_.max_steps) {
+    step();
+  }
+  RunResult result;
+  result.completed = (in_flight_ == 0);
+  result.livelocked = livelocked_;
+  result.steps = result.completed ? last_arrival_ : now_;
+  result.steps_executed = now_;
+  result.total_deflections = total_deflections_;
+  result.total_advances = total_advances_;
+  result.num_packets = packets_.size();
+  result.packets = packets_;
+  return result;
+}
+
+RunResult Engine::run_for(std::uint64_t steps) {
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    if (!step()) break;
+  }
+  RunResult result;
+  result.completed = (in_flight_ == 0);
+  result.livelocked = livelocked_;
+  result.steps = last_arrival_;
+  result.steps_executed = now_;
+  result.total_deflections = total_deflections_;
+  result.total_advances = total_advances_;
+  result.num_packets = packets_.size();
+  result.packets = packets_;
+  return result;
+}
+
+}  // namespace hp::sim

@@ -1,0 +1,138 @@
+// The synchronous hot-potato simulation engine (Section 2 model).
+//
+// Each step, every node that holds packets: (1) receives the packets sent
+// to it in the previous step, (2) runs the routing policy's local
+// computation, (3) assigns all of them distinct outgoing arcs. The engine
+// enforces the model rather than trusting the policy:
+//   * at most one packet traverses any directed arc per step,
+//   * every in-flight packet moves every step (no buffering),
+//   * packets are absorbed exactly when they reach their destination.
+// Violations throw hp::CheckError.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/injection.hpp"
+#include "sim/livelock.hpp"
+#include "sim/observer.hpp"
+#include "sim/packet.hpp"
+#include "sim/policy.hpp"
+#include "topology/network.hpp"
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace hp::sim {
+
+struct EngineConfig {
+  /// Hard step cap for run(); exceeded ⇒ result.completed = false.
+  std::uint64_t max_steps = 10'000'000;
+  /// Seed for the policy's random stream.
+  std::uint64_t seed = 1;
+  /// Detect repeated configurations. Only treated as a livelock *proof*
+  /// when the policy reports deterministic().
+  bool detect_livelock = true;
+};
+
+/// Outcome of a complete run.
+struct RunResult {
+  bool completed = false;   ///< all packets delivered
+  bool livelocked = false;  ///< proven configuration cycle (deterministic)
+  /// Number of steps until the last packet reached its destination
+  /// (valid when completed; equals steps_executed otherwise).
+  std::uint64_t steps = 0;
+  std::uint64_t steps_executed = 0;
+  std::uint64_t total_deflections = 0;
+  std::uint64_t total_advances = 0;
+  std::size_t num_packets = 0;
+  /// Final per-packet records (arrival times, deflection counts, ...).
+  std::vector<Packet> packets;
+};
+
+class Engine {
+ public:
+  /// Injects the problem at t = 0 after validating the origin constraint.
+  /// `net` and `policy` must outlive the engine.
+  Engine(const net::Network& net, const workload::Problem& problem,
+         RoutingPolicy& policy, EngineConfig config = {});
+
+  /// Executes one synchronous step. Returns false (and does nothing) when
+  /// no packets remain in flight and no injector is installed.
+  bool step();
+
+  /// Runs until completion, livelock, or the step cap.
+  RunResult run();
+
+  /// Runs exactly `steps` synchronous steps — the entry point for
+  /// continuous-injection (steady-state) experiments, where "completion"
+  /// never happens by design.
+  RunResult run_for(std::uint64_t steps);
+
+  /// Installs a continuous-injection source, invoked at the start of every
+  /// step. Disables livelock detection (the configuration space is no
+  /// longer closed). The injector must outlive the engine.
+  void set_injector(Injector* injector);
+
+  /// Attempts to place a new packet at `src` bound for `dst` at the
+  /// current step. Fails (returning false) when `src` already holds as
+  /// many packets as its out-degree — the hot-potato capacity rule. Only
+  /// callable from an Injector during step(). A packet with src == dst is
+  /// admitted and delivered immediately.
+  bool try_inject(net::NodeId src, net::NodeId dst);
+
+  /// Packets delivered so far (including trivial src == dst ones).
+  std::uint64_t delivered() const { return delivered_; }
+
+  /// Observers are invoked after each step, in registration order.
+  /// The pointer must remain valid for the engine's lifetime.
+  void add_observer(StepObserver* observer);
+
+  const net::Network& network() const { return net_; }
+  const std::vector<Packet>& packets() const { return packets_; }
+  const Packet& packet(PacketId id) const {
+    return packets_[static_cast<std::size_t>(id)];
+  }
+  std::uint64_t now() const { return now_; }
+  std::size_t in_flight() const { return in_flight_; }
+  bool livelocked() const { return livelocked_; }
+  /// Step at which the last arrival so far happened (0 if none yet).
+  std::uint64_t last_arrival_step() const { return last_arrival_; }
+
+  /// Ids of the packets currently at `node` (order unspecified).
+  std::vector<PacketId> packets_at(net::NodeId node) const;
+
+ private:
+  void inject(const workload::Problem& problem);
+  void build_occupancy();
+  void route_node(net::NodeId node, const std::vector<PacketId>& residents);
+
+  const net::Network& net_;
+  RoutingPolicy& policy_;
+  EngineConfig config_;
+  Rng rng_;
+
+  std::vector<Packet> packets_;
+  std::size_t in_flight_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t now_ = 0;
+  Injector* injector_ = nullptr;
+  bool injecting_now_ = false;  // try_inject only legal inside step()
+  std::uint64_t last_arrival_ = 0;
+  std::uint64_t total_deflections_ = 0;
+  std::uint64_t total_advances_ = 0;
+  bool livelocked_ = false;
+
+  // Per-step scratch, kept as members to avoid reallocation.
+  std::vector<std::vector<PacketId>> occupancy_;  // node -> resident packets
+  std::vector<net::NodeId> occupied_;             // nodes with residents
+  std::vector<std::uint64_t> node_stamp_;         // occupancy freshness
+  std::vector<Assignment> assignments_;
+  std::vector<PacketId> arrivals_;
+  std::vector<std::uint8_t> arc_used_;  // node * num_dirs + dir -> used?
+
+  LivelockDetector livelock_;
+  std::vector<StepObserver*> observers_;
+};
+
+}  // namespace hp::sim

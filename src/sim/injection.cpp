@@ -1,0 +1,28 @@
+#include "sim/injection.hpp"
+
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace hp::sim {
+
+BernoulliInjector::BernoulliInjector(double rate, std::uint64_t seed)
+    : rate_(rate), rng_(seed) {
+  HP_REQUIRE(rate >= 0.0 && rate <= 1.0, "injection rate must be in [0,1]");
+}
+
+void BernoulliInjector::inject(Engine& engine, std::uint64_t /*step*/) {
+  const auto& net = engine.network();
+  const auto n = static_cast<net::NodeId>(net.num_nodes());
+  for (net::NodeId v = 0; v < n; ++v) {
+    if (!rng_.bernoulli(rate_)) continue;
+    ++offered_;
+    // Uniform destination other than the source itself.
+    net::NodeId dst = v;
+    while (dst == v) {
+      dst = static_cast<net::NodeId>(rng_.uniform(net.num_nodes()));
+    }
+    if (engine.try_inject(v, dst)) ++admitted_;
+  }
+}
+
+}  // namespace hp::sim

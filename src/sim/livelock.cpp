@@ -1,0 +1,48 @@
+#include "sim/livelock.hpp"
+
+#include "util/rng.hpp"
+
+namespace hp::sim {
+
+namespace {
+
+void mix(std::uint64_t& chain, std::uint64_t value) {
+  std::uint64_t s = chain ^ (value * 0x9ddfea08eb382d69ULL);
+  chain = splitmix64(s);
+}
+
+}  // namespace
+
+StateDigest digest_state(const std::vector<Packet>& packets) {
+  StateDigest d{0x243f6a8885a308d3ULL, 0x13198a2e03707344ULL};
+  for (const Packet& p : packets) {
+    if (p.arrived()) continue;
+    // Injective two-word encoding of the per-packet state.
+    const std::uint64_t w1 =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.id)) << 32) |
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.pos));
+    const std::uint64_t w2 =
+        (static_cast<std::uint64_t>(static_cast<std::uint8_t>(p.last_move_dir))
+         << 16) |
+        (static_cast<std::uint64_t>(p.prev_advanced) << 8) |
+        static_cast<std::uint64_t>(
+            static_cast<std::uint8_t>(p.prev_num_good + 1));
+    mix(d.lo, w1);
+    mix(d.lo, w2);
+    mix(d.hi, ~w1);
+    mix(d.hi, ~w2);
+  }
+  return d;
+}
+
+std::uint64_t LivelockDetector::record(const StateDigest& digest,
+                                       std::uint64_t step) {
+  auto [it, inserted] = seen_.try_emplace(digest.lo, Entry{digest.hi, step});
+  if (inserted) return kNoRepeat;
+  if (it->second.hi == digest.hi) return it->second.step;
+  // A 64-bit half-collision with distinct upper halves: genuinely distinct
+  // states. Keep the first entry; this can at worst delay detection.
+  return kNoRepeat;
+}
+
+}  // namespace hp::sim

@@ -1,0 +1,49 @@
+// Livelock detection by configuration hashing.
+//
+// The state of a synchronous hot-potato system is exactly the multiset of
+// in-flight packets with their positions and one step of history. For a
+// deterministic policy the next state is a function of the current state,
+// so a repeated state proves an infinite loop (livelock) — the situation
+// Section 1.2 warns about for unrestricted greedy routing.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/packet.hpp"
+
+namespace hp::sim {
+
+/// 128-bit configuration fingerprint (two independent splitmix64 chains);
+/// the collision probability over any realistic run length is negligible.
+struct StateDigest {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  friend bool operator==(const StateDigest&, const StateDigest&) = default;
+};
+
+/// Computes the digest of the current configuration: every in-flight
+/// packet's (id, position, last move, history bits), in id order.
+StateDigest digest_state(const std::vector<Packet>& packets);
+
+/// Remembers digests of visited configurations and reports repeats.
+class LivelockDetector {
+ public:
+  /// Records the configuration at time `step`. Returns the step at which
+  /// the same configuration was first seen, or kNoRepeat if new.
+  std::uint64_t record(const StateDigest& digest, std::uint64_t step);
+
+  static constexpr std::uint64_t kNoRepeat = ~std::uint64_t{0};
+
+  std::size_t states_seen() const { return seen_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t hi;
+    std::uint64_t step;
+  };
+  std::unordered_map<std::uint64_t, Entry> seen_;
+};
+
+}  // namespace hp::sim

@@ -1,0 +1,56 @@
+// Step observers: how the analysis layer watches a run.
+//
+// The potential-function machinery of Sections 3–4 is implemented as
+// observers that audit every step of a real execution — Property 8 at every
+// node, the Lemma 12 two-step drop, greediness per Definition 6, and so on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sim/packet.hpp"
+#include "topology/types.hpp"
+
+namespace hp::sim {
+
+class Engine;
+
+/// One packet's routing decision in one step, with the pre-move facts the
+/// analysis needs. Assignments for the same node are contiguous in the
+/// step record.
+struct Assignment {
+  PacketId pkt = 0;
+  net::NodeId node = net::kInvalidNode;  ///< node the packet was routed from
+  net::Dir out = net::kInvalidDir;       ///< chosen outgoing direction
+  bool advances = false;                 ///< arc was good for the packet
+  int num_good = 0;          ///< good directions at `node` (pre-move)
+  /// Bit i set iff direction i was good for this packet at `node`.
+  std::uint32_t good_mask = 0;
+  bool was_type_a = false;   ///< restricted Type A at start of step (§4.1)
+  bool prev_advanced = false;
+  int prev_num_good = -1;
+};
+
+/// Everything that happened in one engine step.
+struct StepRecord {
+  /// Time at the beginning of the step; movement happens between `step`
+  /// and `step + 1`.
+  std::uint64_t step = 0;
+  /// All routing decisions, grouped contiguously by node.
+  std::span<const Assignment> assignments;
+  /// Packets that reached their destination by this movement (they are
+  /// absorbed and do not appear in later steps).
+  std::span<const PacketId> arrivals;
+};
+
+class StepObserver {
+ public:
+  virtual ~StepObserver() = default;
+
+  /// Called once per step, after movement has been applied. The engine's
+  /// packet table reflects post-move state; pre-move positions are in the
+  /// record's assignments.
+  virtual void on_step(const Engine& engine, const StepRecord& record) = 0;
+};
+
+}  // namespace hp::sim

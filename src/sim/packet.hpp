@@ -1,0 +1,58 @@
+// Packet state for the synchronous hot-potato model (Section 2).
+#pragma once
+
+#include <cstdint>
+
+#include "topology/types.hpp"
+
+namespace hp::sim {
+
+using PacketId = std::int32_t;
+
+inline constexpr std::uint64_t kNotArrived = ~std::uint64_t{0};
+
+/// One packet in flight (or already delivered). Besides position, the
+/// packet carries the two bits of history the paper's Type A / Type B
+/// classification (§4.1) needs: whether it advanced in the previous step
+/// and how many good directions it had then.
+struct Packet {
+  PacketId id = 0;
+  net::NodeId src = net::kInvalidNode;
+  net::NodeId dst = net::kInvalidNode;
+
+  /// Current node while in flight; meaningless after arrival.
+  net::NodeId pos = net::kInvalidNode;
+
+  /// Direction label of the packet's movement in the previous step, i.e.
+  /// the arc through which it entered `pos`. kInvalidDir right after
+  /// injection (the packet did not arrive through any arc).
+  net::Dir last_move_dir = net::kInvalidDir;
+
+  /// True iff the packet got closer to its destination in the previous
+  /// step (it "advanced", Definition 5). False right after injection.
+  bool prev_advanced = false;
+
+  /// Number of good directions the packet had at the node it occupied at
+  /// the beginning of the previous step; -1 right after injection.
+  int prev_num_good = -1;
+
+  /// Bookkeeping for experiments.
+  std::uint64_t injected_at = 0;
+  std::uint64_t arrived_at = kNotArrived;
+  std::uint64_t deflections = 0;
+  int initial_distance = 0;
+
+  bool arrived() const { return arrived_at != kNotArrived; }
+
+  /// True iff the packet was a *restricted* packet of Type A at the
+  /// beginning of the current step (§4.1): it was restricted (exactly one
+  /// good direction) in the previous step and advanced in it. The caller
+  /// supplies the current number of good directions; a Type A packet is
+  /// still restricted now (an advancing restricted packet in the mesh
+  /// stays aligned with its destination until arrival).
+  bool is_type_a(int num_good_now) const {
+    return num_good_now == 1 && prev_num_good == 1 && prev_advanced;
+  }
+};
+
+}  // namespace hp::sim

@@ -1,0 +1,49 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace hp::sim {
+
+void TraceRecorder::on_step(const Engine& engine, const StepRecord& record) {
+  Snapshot snap;
+  snap.step = record.step + 1;  // positions are post-move
+  for (const Packet& p : engine.packets()) {
+    if (!p.arrived()) snap.positions.emplace_back(p.id, p.pos);
+  }
+  snapshots_.push_back(std::move(snap));
+}
+
+std::string render_grid(const net::Mesh& mesh,
+                        const TraceRecorder::Snapshot& snapshot,
+                        int bad_threshold) {
+  HP_REQUIRE(mesh.dim() == 2, "render_grid requires a 2-D mesh");
+  std::vector<int> counts(mesh.num_nodes(), 0);
+  for (const auto& [pkt, pos] : snapshot.positions) {
+    ++counts[static_cast<std::size_t>(pos)];
+  }
+  std::ostringstream os;
+  os << "t=" << snapshot.step << "\n";
+  // Render row y from top (y = side-1) to bottom for conventional display.
+  for (int y = mesh.side() - 1; y >= 0; --y) {
+    for (int x = 0; x < mesh.side(); ++x) {
+      net::Coord c;
+      c.push_back(x);
+      c.push_back(y);
+      const int count = counts[static_cast<std::size_t>(mesh.node_at(c))];
+      if (count == 0) {
+        os << " . ";
+      } else if (count > bad_threshold) {
+        os << "[" << count << "]";
+      } else {
+        os << " " << count << " ";
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hp::sim

@@ -1,0 +1,41 @@
+// Execution tracing: per-step snapshots of packet positions plus an ASCII
+// renderer for two-dimensional meshes. Used by the example binaries to
+// visualize deflection dynamics, bad-node volumes and surface arcs
+// (the concepts in Figures 3 and 4 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/observer.hpp"
+#include "topology/mesh.hpp"
+
+namespace hp::sim {
+
+/// Observer that records, for every step, each in-flight packet's position
+/// (post-move). Memory is O(steps × packets); intended for small demos.
+class TraceRecorder : public StepObserver {
+ public:
+  struct Snapshot {
+    std::uint64_t step = 0;
+    std::vector<std::pair<PacketId, net::NodeId>> positions;
+  };
+
+  void on_step(const Engine& engine, const StepRecord& record) override;
+
+  const std::vector<Snapshot>& snapshots() const { return snapshots_; }
+
+ private:
+  std::vector<Snapshot> snapshots_;
+};
+
+/// Renders one snapshot of a 2-D mesh as an ASCII grid. Each cell shows the
+/// number of packets at that node ('.' for zero); cells holding more than
+/// `bad_threshold` packets — the paper's bad nodes (Definition 9, threshold
+/// d = 2) — are bracketed, e.g. "[3]".
+std::string render_grid(const net::Mesh& mesh,
+                        const TraceRecorder::Snapshot& snapshot,
+                        int bad_threshold = 2);
+
+}  // namespace hp::sim

@@ -1,0 +1,88 @@
+#include "stats/steady_state.hpp"
+
+#include "sim/engine.hpp"
+#include "sim/injection.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace hp::stats {
+
+namespace {
+
+/// Tracks the number of in-flight packets each step within a window.
+class InFlightProbe : public sim::StepObserver {
+ public:
+  explicit InFlightProbe(std::uint64_t from_step) : from_(from_step) {}
+  void on_step(const sim::Engine& /*engine*/,
+               const sim::StepRecord& record) override {
+    if (record.step >= from_) {
+      in_flight_.add(static_cast<double>(record.assignments.size()));
+    }
+  }
+  const RunningStat& stat() const { return in_flight_; }
+
+ private:
+  std::uint64_t from_;
+  RunningStat in_flight_;
+};
+
+}  // namespace
+
+SteadyStateReport measure_steady_state(const net::Network& network,
+                                       sim::RoutingPolicy& policy,
+                                       double rate, std::uint64_t warmup,
+                                       std::uint64_t measure,
+                                       std::uint64_t seed) {
+  HP_REQUIRE(measure > 0, "empty measurement window");
+
+  workload::Problem empty;
+  empty.name = "steady-state";
+  sim::EngineConfig config;
+  config.seed = seed;
+  config.detect_livelock = false;
+  sim::Engine engine(network, empty, policy, config);
+  sim::BernoulliInjector injector(rate, seed ^ 0x5bd1e995u);
+  engine.set_injector(&injector);
+  InFlightProbe probe(warmup);
+  engine.add_observer(&probe);
+
+  engine.run_for(warmup + measure);
+
+  SteadyStateReport report;
+  report.offered_rate = rate;
+  report.admit_fraction =
+      injector.offered() == 0
+          ? 1.0
+          : static_cast<double>(injector.admitted()) /
+                static_cast<double>(injector.offered());
+
+  Samples latency;
+  std::uint64_t deflections = 0;
+  std::uint64_t delivered_in_window = 0;
+  for (const sim::Packet& p : engine.packets()) {
+    if (!p.arrived()) continue;
+    if (p.arrived_at <= warmup) continue;
+    ++delivered_in_window;
+    deflections += p.deflections;
+    if (p.injected_at >= warmup) {
+      latency.add(static_cast<double>(p.arrived_at - p.injected_at));
+    }
+  }
+  report.delivered_measured = delivered_in_window;
+  report.throughput = static_cast<double>(delivered_in_window) /
+                      static_cast<double>(measure) /
+                      static_cast<double>(network.num_nodes());
+  if (!latency.empty()) {
+    report.mean_latency = latency.mean();
+    report.p99_latency = latency.percentile(0.99);
+  }
+  report.mean_in_flight = probe.stat().mean();
+  report.deflections_per_delivered =
+      delivered_in_window == 0
+          ? 0.0
+          : static_cast<double>(deflections) /
+                static_cast<double>(delivered_in_window);
+  return report;
+}
+
+}  // namespace hp::stats

@@ -1,0 +1,34 @@
+// Steady-state measurement of deflection networks under continuous
+// Bernoulli arrivals — the operating regime of the paper's motivating
+// systems ([GG], [Ma]): throughput, latency and blocked-arrival rate as a
+// function of the offered load.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/policy.hpp"
+#include "topology/network.hpp"
+
+namespace hp::stats {
+
+struct SteadyStateReport {
+  double offered_rate = 0;    ///< configured per-node arrival probability
+  double admit_fraction = 0;  ///< admitted / offered (1 − blocking rate)
+  double throughput = 0;      ///< deliveries per step per node
+  double mean_latency = 0;    ///< over packets injected after warmup
+  double p99_latency = 0;
+  double mean_in_flight = 0;  ///< average packets in the network per step
+  double deflections_per_delivered = 0;
+  std::uint64_t delivered_measured = 0;
+};
+
+/// Runs `policy` on `network` with per-node Bernoulli(rate) arrivals for
+/// `warmup + measure` steps; statistics cover the measurement window only
+/// (latency is attributed to packets injected inside it).
+SteadyStateReport measure_steady_state(const net::Network& network,
+                                       sim::RoutingPolicy& policy,
+                                       double rate, std::uint64_t warmup,
+                                       std::uint64_t measure,
+                                       std::uint64_t seed);
+
+}  // namespace hp::stats

@@ -1,0 +1,101 @@
+#include "topology/mesh.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hp::net {
+
+Mesh::Mesh(int dim, int side, bool wrap) : dim_(dim), side_(side), wrap_(wrap) {
+  HP_REQUIRE(dim >= 1 && dim <= kMaxDim, "mesh dimension out of range");
+  HP_REQUIRE(side >= 2, "mesh side must be at least 2");
+  std::int64_t nodes = 1;
+  for (int a = 0; a < dim; ++a) {
+    stride_[a] = nodes;
+    nodes *= side;
+    HP_REQUIRE(nodes <= (1LL << 30), "mesh too large for NodeId");
+  }
+  num_nodes_ = static_cast<std::size_t>(nodes);
+}
+
+int Mesh::coord(NodeId node, int axis) const {
+  return static_cast<int>((node / stride_[axis]) % side_);
+}
+
+Coord Mesh::coords(NodeId node) const {
+  HP_REQUIRE(node >= 0 && node < static_cast<NodeId>(num_nodes_),
+             "node id out of range");
+  Coord c;
+  for (int a = 0; a < dim_; ++a) c.push_back(coord(node, a));
+  return c;
+}
+
+NodeId Mesh::node_at(const Coord& c) const {
+  HP_REQUIRE(static_cast<int>(c.size()) == dim_,
+             "coordinate arity does not match mesh dimension");
+  std::int64_t id = 0;
+  for (int a = 0; a < dim_; ++a) {
+    HP_REQUIRE(c[static_cast<std::size_t>(a)] >= 0 &&
+                   c[static_cast<std::size_t>(a)] < side_,
+               "coordinate out of range");
+    id += c[static_cast<std::size_t>(a)] * stride_[a];
+  }
+  return static_cast<NodeId>(id);
+}
+
+NodeId Mesh::neighbor(NodeId node, Dir dir) const {
+  HP_REQUIRE(dir >= 0 && dir < num_dirs(), "direction out of range");
+  const int axis = axis_of(dir);
+  const int sign = sign_of(dir);
+  const int pos = coord(node, axis);
+  int next = pos + sign;
+  if (next < 0 || next >= side_) {
+    if (!wrap_) return kInvalidNode;
+    next = (next + side_) % side_;
+  }
+  return node + static_cast<NodeId>((next - pos) * stride_[axis]);
+}
+
+Dir Mesh::reverse_dir(Dir dir) const {
+  HP_REQUIRE(dir >= 0 && dir < num_dirs(), "direction out of range");
+  return static_cast<Dir>(dir ^ 1);
+}
+
+int Mesh::distance(NodeId a, NodeId b) const {
+  int total = 0;
+  for (int axis = 0; axis < dim_; ++axis) {
+    int delta = std::abs(coord(a, axis) - coord(b, axis));
+    if (wrap_) delta = std::min(delta, side_ - delta);
+    total += delta;
+  }
+  return total;
+}
+
+int Mesh::diameter() const {
+  const int per_axis = wrap_ ? side_ / 2 : side_ - 1;
+  return dim_ * per_axis;
+}
+
+std::string Mesh::name() const {
+  std::ostringstream os;
+  os << (wrap_ ? "torus" : "mesh") << "-" << dim_ << "d-" << side_;
+  return os.str();
+}
+
+NodeId Mesh::two_neighbor(NodeId node, Dir dir) const {
+  const NodeId mid = neighbor(node, dir);
+  if (mid == kInvalidNode) return kInvalidNode;
+  return neighbor(mid, dir);
+}
+
+int Mesh::parity_class(NodeId node) const {
+  int cls = 0;
+  for (int axis = 0; axis < dim_; ++axis) {
+    cls |= (coord(node, axis) & 1) << axis;
+  }
+  return cls;
+}
+
+}  // namespace hp::net

@@ -1,0 +1,46 @@
+#include "topology/network.hpp"
+
+namespace hp::net {
+
+int Network::degree(NodeId node) const {
+  int deg = 0;
+  for (Dir d = 0; d < num_dirs(); ++d) {
+    if (arc_exists(node, d)) ++deg;
+  }
+  return deg;
+}
+
+DirList Network::good_dirs(NodeId at, NodeId dst) const {
+  DirList out;
+  const int here = distance(at, dst);
+  for (Dir d = 0; d < num_dirs(); ++d) {
+    const NodeId nb = neighbor(at, d);
+    if (nb != kInvalidNode && distance(nb, dst) < here) out.push_back(d);
+  }
+  return out;
+}
+
+int Network::num_good_dirs(NodeId at, NodeId dst) const {
+  int count = 0;
+  const int here = distance(at, dst);
+  for (Dir d = 0; d < num_dirs(); ++d) {
+    const NodeId nb = neighbor(at, d);
+    if (nb != kInvalidNode && distance(nb, dst) < here) ++count;
+  }
+  return count;
+}
+
+bool Network::is_good_dir(NodeId at, NodeId dst, Dir dir) const {
+  const NodeId nb = neighbor(at, dir);
+  return nb != kInvalidNode && distance(nb, dst) < distance(at, dst);
+}
+
+std::size_t Network::num_arcs() const {
+  std::size_t arcs = 0;
+  for (NodeId v = 0; v < static_cast<NodeId>(num_nodes()); ++v) {
+    arcs += static_cast<std::size_t>(degree(v));
+  }
+  return arcs;
+}
+
+}  // namespace hp::net

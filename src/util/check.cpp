@@ -1,0 +1,17 @@
+#include "util/check.hpp"
+
+#include <sstream>
+
+namespace hp::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& detail) {
+  std::ostringstream os;
+  os << "HP_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!detail.empty()) {
+    os << " — " << detail;
+  }
+  throw CheckError(os.str());
+}
+
+}  // namespace hp::detail

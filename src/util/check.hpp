@@ -1,0 +1,38 @@
+// Runtime invariant checking for the hotpotato library.
+//
+// The simulation engine enforces model invariants (one packet per directed
+// arc per step, packets leave the step after arrival, ...) with HP_CHECK.
+// Violations throw hp::CheckError so tests can assert on them; they are
+// never silently ignored, in any build type.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hp {
+
+/// Thrown when a checked invariant fails. Carries the failing expression,
+/// source location, and an optional human-readable detail message.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& detail);
+}  // namespace detail
+
+}  // namespace hp
+
+/// Always-on invariant check. `msg` is a string (or string expression)
+/// appended to the failure message.
+#define HP_CHECK(expr, msg)                                         \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::hp::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                               \
+  } while (false)
+
+/// Precondition check for public API entry points.
+#define HP_REQUIRE(expr, msg) HP_CHECK(expr, msg)

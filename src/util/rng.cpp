@@ -1,0 +1,6 @@
+#include "util/rng.hpp"
+
+// Header-only implementation; this translation unit exists so the target
+// always has at least one object file for the module and to hold any
+// future out-of-line additions.
+namespace hp {}

@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hp {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  HP_REQUIRE(!header_.empty(), "table header must be nonempty");
+}
+
+TablePrinter::Row& TablePrinter::Row::add(std::string_view value) {
+  cells_.emplace_back(value);
+  return *this;
+}
+
+TablePrinter::Row& TablePrinter::Row::add(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  cells_.push_back(os.str());
+  return *this;
+}
+
+TablePrinter::Row& TablePrinter::Row::add(std::int64_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+TablePrinter::Row& TablePrinter::Row::add(std::uint64_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+TablePrinter::Row::~Row() noexcept(false) {
+  HP_CHECK(cells_.size() == table_.header_.size(),
+           "table row arity mismatch with header");
+  table_.rows_.push_back(std::move(cells_));
+}
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << "  ";
+      out << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    out << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace hp

@@ -1,0 +1,32 @@
+// Text serialization of routing problems.
+//
+// Format (line-oriented, '#' comments allowed):
+//   problem <name>
+//   packet <src> <dst>
+//   packet <src> <dst>
+//   ...
+//
+// Used by the hpsim CLI (--save/--load) and for freezing instances found
+// by the livelock and hard-instance searches.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/workload.hpp"
+
+namespace hp::workload {
+
+/// Writes `problem` in the text format above.
+void write_problem(std::ostream& out, const Problem& problem);
+
+/// Parses a problem from the text format. Throws hp::CheckError on a
+/// malformed document. Node-id validity against a concrete network is the
+/// caller's job (Problem::validate).
+Problem read_problem(std::istream& in);
+
+/// Convenience wrappers over files.
+void save_problem(const std::string& path, const Problem& problem);
+Problem load_problem(const std::string& path);
+
+}  // namespace hp::workload

@@ -1,0 +1,32 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hp::workload {
+
+int Problem::max_distance(const net::Network& net) const {
+  int best = 0;
+  for (const auto& p : packets) {
+    best = std::max(best, net.distance(p.src, p.dst));
+  }
+  return best;
+}
+
+void Problem::validate(const net::Network& net) const {
+  const auto n = static_cast<net::NodeId>(net.num_nodes());
+  std::vector<int> origins(net.num_nodes(), 0);
+  for (const auto& p : packets) {
+    HP_CHECK(p.src >= 0 && p.src < n, "packet origin out of range");
+    HP_CHECK(p.dst >= 0 && p.dst < n, "packet destination out of range");
+    ++origins[static_cast<std::size_t>(p.src)];
+  }
+  for (net::NodeId v = 0; v < n; ++v) {
+    HP_CHECK(origins[static_cast<std::size_t>(v)] <= net.degree(v),
+             "node '" + std::to_string(v) +
+                 "' originates more packets than its out-degree");
+  }
+}
+
+}  // namespace hp::workload

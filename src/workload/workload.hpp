@@ -1,0 +1,37 @@
+// Routing problems: the many-to-many batch model of Section 2.
+//
+// A problem is a multiset of (origin, destination) pairs, all injected at
+// time t = 0. The model constraint: no node is the origin of more packets
+// than its out-degree. A node may be the destination of arbitrarily many
+// packets, and nodes need not send or receive anything.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/network.hpp"
+
+namespace hp::workload {
+
+struct PacketSpec {
+  net::NodeId src = net::kInvalidNode;
+  net::NodeId dst = net::kInvalidNode;
+};
+
+struct Problem {
+  std::string name;
+  std::vector<PacketSpec> packets;
+
+  std::size_t size() const { return packets.size(); }
+
+  /// Maximum origin→destination distance over all packets (d_max in the
+  /// related-work bounds).
+  int max_distance(const net::Network& net) const;
+
+  /// Verifies the many-to-many constraints against `net`: valid node ids
+  /// and at most out-degree packets per origin. Throws hp::CheckError on
+  /// violation.
+  void validate(const net::Network& net) const;
+};
+
+}  // namespace hp::workload

@@ -1,0 +1,97 @@
+// Closed-form bound tests: Theorem 17, Theorem 20, the Remark, the
+// Section 5 d-dim bound, and the related-work reference bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "util/check.hpp"
+
+namespace hp::core {
+namespace {
+
+TEST(Thm17, MatchesClosedForm) {
+  // d = 2: (8)^{1/2} √k M.
+  EXPECT_NEAR(thm17_bound(2, 9.0, 10.0),
+              std::sqrt(8.0) * 3.0 * 10.0, 1e-9);
+  // d = 1: (4)^0 · k · M = k·M.
+  EXPECT_DOUBLE_EQ(thm17_bound(1, 5.0, 3.0), 15.0);
+}
+
+TEST(Thm20, IsThm17WithMEquals4n) {
+  // Theorem 20 = Theorem 17 at d = 2, M = 4n.
+  for (int n : {4, 16, 64}) {
+    for (double k : {1.0, 10.0, 1000.0}) {
+      EXPECT_NEAR(thm20_bound(n, k), thm17_bound(2, k, 4.0 * n), 1e-6);
+    }
+  }
+}
+
+TEST(Thm20, ClosedForm8Sqrt2) {
+  EXPECT_NEAR(thm20_bound(10, 4.0), 8.0 * std::sqrt(2.0) * 10.0 * 2.0, 1e-9);
+}
+
+TEST(Thm20, MonotoneInBothArguments) {
+  EXPECT_LT(thm20_bound(8, 10.0), thm20_bound(16, 10.0));
+  EXPECT_LT(thm20_bound(8, 10.0), thm20_bound(8, 20.0));
+}
+
+TEST(Remark, ParitySplitBounds) {
+  // Full permutation: 8√2·n·√(n²) would be 8√2·n²; the parity split
+  // sharpens it to 8n². Four packets per node: 16n².
+  EXPECT_DOUBLE_EQ(remark_permutation_bound(16), 8.0 * 256.0);
+  EXPECT_DOUBLE_EQ(remark_four_per_node_bound(16), 16.0 * 256.0);
+  // The split really is stronger than the generic bound.
+  EXPECT_LT(remark_permutation_bound(16), thm20_bound(16, 256.0));
+}
+
+TEST(DdimBound, ReducesSensiblyAtD2) {
+  // At d = 2 the Section 5 formula is 4^{2.5}·2^{0.5}·√k·n = 8√2·…·…
+  // — consistent with Theorem 20 up to the same constant.
+  EXPECT_NEAR(ddim_bound(2, 16, 100.0), thm20_bound(16, 100.0) * 4.0, 1e-6);
+  // (The d-dim machinery loses an extra factor of 4 at d = 2; the paper's
+  // 2-D analysis is tighter.)
+}
+
+TEST(DdimBound, MatchesThm17WithCapM) {
+  for (int d : {2, 3, 4}) {
+    for (int n : {4, 8}) {
+      for (double k : {1.0, 64.0}) {
+        EXPECT_NEAR(ddim_bound(d, n, k),
+                    thm17_bound(d, k, ddim_potential_cap(d, n)),
+                    1e-6 * ddim_bound(d, n, k));
+      }
+    }
+  }
+}
+
+TEST(DdimBound, GrowsExponentiallyInD) {
+  EXPECT_GT(ddim_bound(4, 8, 64.0) / ddim_bound(3, 8, 64.0), 4.0);
+}
+
+TEST(ReferenceBounds, BrassilCruzAndHajek) {
+  EXPECT_DOUBLE_EQ(brassil_cruz_bound(14, 63.0, 10.0), 14 + 63 + 18);
+  EXPECT_DOUBLE_EQ(hajek_bound(100.0, 10), 210.0);
+  EXPECT_DOUBLE_EQ(bts_bound(5.0, 7), 15.0);
+}
+
+TEST(LowerBounds, SingleTargetAbsorption) {
+  // 100 packets into a degree-4 node from max distance 6: at least
+  // max(6, ceil(100/4)) = 25 steps.
+  EXPECT_DOUBLE_EQ(single_target_lower_bound(100.0, 6, 4), 25.0);
+  EXPECT_DOUBLE_EQ(single_target_lower_bound(3.0, 9, 4), 9.0);
+  EXPECT_DOUBLE_EQ(distance_lower_bound(12), 12.0);
+}
+
+TEST(Phi0, UpperBound) {
+  EXPECT_DOUBLE_EQ(phi0_upper(10.0, 4.0 * 16), 640.0);
+}
+
+TEST(Bounds, RejectBadArguments) {
+  EXPECT_THROW(thm17_bound(0, 1.0, 1.0), CheckError);
+  EXPECT_THROW(thm17_bound(2, -1.0, 1.0), CheckError);
+  EXPECT_THROW(single_target_lower_bound(1.0, 1, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace hp::core

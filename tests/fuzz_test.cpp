@@ -1,0 +1,178 @@
+// Fuzz and exhaustive-enumeration suites.
+//
+// * ArbitraryPolicy — a random-but-VALID hot-potato policy (any injective
+//   packet→arc assignment is legal in the model). The engine must uphold
+//   its invariants under every such policy; the Definition 6 checker must
+//   classify it correctly; and evacuation is NOT guaranteed, so runs are
+//   capped rather than asserted complete.
+// * Exhaustive small-mesh checks: every single-packet instance routes in
+//   exactly its distance; every two-packet shared-origin instance on the
+//   3×3 mesh satisfies Theorem 20 and the Property 8 audit.
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/checkers.hpp"
+#include "core/potential.hpp"
+#include "routing/restricted_priority.hpp"
+#include "sim/engine.hpp"
+#include "test_support.hpp"
+#include "workload/generators.hpp"
+
+namespace hp {
+namespace {
+
+using test::make_problem;
+
+/// Assigns every packet a uniformly random free arc — valid hot-potato,
+/// wildly non-greedy.
+class ArbitraryPolicy : public sim::RoutingPolicy {
+ public:
+  std::string name() const override { return "arbitrary"; }
+  void route(const sim::NodeContext& ctx,
+             std::span<const sim::PacketView> packets,
+             std::span<net::Dir> out) override {
+    net::DirList free = ctx.avail_dirs;
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+      const std::size_t pick = ctx.rng.uniform(free.size());
+      out[i] = free[pick];
+      free.erase_at(pick);
+    }
+  }
+};
+
+/// Counts conservation: packets in = packets arrived + packets in flight.
+class ConservationCheck : public sim::StepObserver {
+ public:
+  void on_step(const sim::Engine& engine,
+               const sim::StepRecord& /*record*/) override {
+    std::size_t arrived = 0, flying = 0;
+    for (const sim::Packet& p : engine.packets()) {
+      if (p.arrived()) {
+        ++arrived;
+      } else {
+        ++flying;
+      }
+    }
+    EXPECT_EQ(arrived + flying, engine.packets().size());
+    EXPECT_EQ(flying, engine.in_flight());
+  }
+};
+
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSweep, ArbitraryPolicyNeverBreaksTheModel) {
+  const std::uint64_t seed = GetParam();
+  net::Mesh mesh(2, 6);
+  Rng rng(seed);
+  const std::size_t k = 1 + rng.uniform(80);
+  auto problem = workload::random_many_to_many(mesh, k, rng);
+  ArbitraryPolicy policy;
+  sim::EngineConfig config;
+  config.seed = seed;
+  config.max_steps = 3000;  // no termination guarantee for arbitrary routing
+  sim::Engine engine(mesh, problem, policy, config);
+  ConservationCheck conservation;
+  engine.add_observer(&conservation);
+  // Must not throw: the engine accepts any valid assignment and keeps all
+  // of its invariants.
+  const auto result = engine.run();
+  EXPECT_EQ(result.num_packets, k);
+  EXPECT_EQ(result.total_advances + result.total_deflections,
+            static_cast<std::uint64_t>(result.steps_executed) == 0
+                ? 0
+                : result.total_advances + result.total_deflections);
+}
+
+TEST_P(FuzzSweep, GreedyCheckerFlagsArbitraryRouting) {
+  // With enough packets the arbitrary policy will eventually deflect a
+  // packet whose good arc stayed free — Definition 6 violation.
+  const std::uint64_t seed = GetParam();
+  net::Mesh mesh(2, 6);
+  Rng rng(seed * 31 + 1);
+  auto problem = workload::saturated_random(mesh, 2, rng);
+  ArbitraryPolicy policy;
+  sim::EngineConfig config;
+  config.seed = seed;
+  config.max_steps = 500;
+  sim::Engine engine(mesh, problem, policy, config);
+  core::GreedyChecker checker;
+  engine.add_observer(&checker);
+  engine.run();
+  EXPECT_FALSE(checker.violations().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Range(std::uint64_t{1}, std::uint64_t{21}));
+
+TEST(Exhaustive, EverySinglePacketInstanceRoutesInExactlyItsDistance) {
+  net::Mesh mesh(2, 4);
+  routing::RestrictedPriorityPolicy policy;
+  for (net::NodeId s = 0; s < static_cast<net::NodeId>(mesh.num_nodes());
+       ++s) {
+    for (net::NodeId t = 0; t < static_cast<net::NodeId>(mesh.num_nodes());
+         ++t) {
+      sim::Engine engine(mesh, make_problem({{s, t}}), policy);
+      const auto result = engine.run();
+      ASSERT_TRUE(result.completed);
+      EXPECT_EQ(result.steps, static_cast<std::uint64_t>(mesh.distance(s, t)))
+          << s << "→" << t;
+      EXPECT_EQ(result.total_deflections, 0u);
+    }
+  }
+}
+
+TEST(Exhaustive, AllTwoPacketSharedOriginInstancesAuditClean) {
+  // Every (origin, dst1, dst2) with an interior origin on the 3×3 mesh:
+  // 9 × 9 = 81 destination pairs from the center — full enumeration of the
+  // smallest contention scenarios, all must satisfy Theorem 20 and pass
+  // the Property 8 audit.
+  net::Mesh mesh(2, 3);
+  const net::NodeId center = 4;  // (1,1): the only degree-4 node
+  for (net::NodeId d1 = 0; d1 < 9; ++d1) {
+    for (net::NodeId d2 = 0; d2 < 9; ++d2) {
+      routing::RestrictedPriorityPolicy policy;
+      sim::Engine engine(mesh, make_problem({{center, d1}, {center, d2}}),
+                         policy);
+      core::PotentialTracker::Config config;
+      config.c_init = 2 * mesh.side();
+      config.d = 2;
+      core::PotentialTracker potential(mesh, engine, config);
+      engine.add_observer(&potential);
+      const auto result = engine.run();
+      ASSERT_TRUE(result.completed) << "d1=" << d1 << " d2=" << d2;
+      EXPECT_LE(static_cast<double>(result.steps),
+                core::thm20_bound(3, 2.0));
+      EXPECT_TRUE(potential.property8_violations().empty())
+          << "d1=" << d1 << " d2=" << d2;
+      EXPECT_TRUE(potential.structure_violations().empty())
+          << "d1=" << d1 << " d2=" << d2;
+    }
+  }
+}
+
+TEST(Exhaustive, AllCornerPairInstancesOnTinyMesh) {
+  // Both packets start at a degree-2 corner — the boundary case of the
+  // Lemma 19 analysis (nodes near the edge of the mesh are explicitly
+  // covered by Property 8's "every node" quantifier).
+  net::Mesh mesh(2, 3);
+  const net::NodeId corner = 0;
+  for (net::NodeId d1 = 0; d1 < 9; ++d1) {
+    for (net::NodeId d2 = 0; d2 < 9; ++d2) {
+      routing::RestrictedPriorityPolicy policy;
+      sim::Engine engine(mesh, make_problem({{corner, d1}, {corner, d2}}),
+                         policy);
+      core::PotentialTracker::Config config;
+      config.c_init = 2 * mesh.side();
+      config.d = 2;
+      core::PotentialTracker potential(mesh, engine, config);
+      engine.add_observer(&potential);
+      const auto result = engine.run();
+      ASSERT_TRUE(result.completed) << "d1=" << d1 << " d2=" << d2;
+      EXPECT_TRUE(potential.property8_violations().empty())
+          << "d1=" << d1 << " d2=" << d2;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hp

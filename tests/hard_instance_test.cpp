@@ -1,0 +1,88 @@
+// Hard-instance search tests.
+#include <gtest/gtest.h>
+
+#include "core/hard_instance.hpp"
+#include "routing/greedy_variants.hpp"
+#include "routing/restricted_priority.hpp"
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace hp::core {
+namespace {
+
+PolicyFactory restricted_factory() {
+  return [] {
+    return std::make_unique<routing::RestrictedPriorityPolicy>();
+  };
+}
+
+TEST(HardSearch, FindsAtLeastAsSlowAsBaseline) {
+  net::Mesh mesh(2, 5);
+  HardSearchConfig config;
+  config.evaluations = 60;
+  config.restarts = 2;
+  config.seed = 11;
+  const auto result = search_hard_permutation(mesh, restricted_factory(),
+                                              config);
+  EXPECT_EQ(result.evaluations, 60u);
+  EXPECT_GE(result.worst_steps, result.baseline_steps);
+  EXPECT_EQ(result.trajectory.size(), 60u);
+  // Trajectory is the best-so-far curve: nondecreasing.
+  for (std::size_t i = 1; i < result.trajectory.size(); ++i) {
+    EXPECT_GE(result.trajectory[i], result.trajectory[i - 1]);
+  }
+}
+
+TEST(HardSearch, WorstInstanceIsAPermutation) {
+  net::Mesh mesh(2, 4);
+  HardSearchConfig config;
+  config.evaluations = 30;
+  config.restarts = 1;
+  const auto result = search_hard_permutation(mesh, restricted_factory(),
+                                              config);
+  ASSERT_EQ(result.worst.size(), mesh.num_nodes());
+  std::vector<int> dst_count(mesh.num_nodes(), 0);
+  for (const auto& s : result.worst.packets) {
+    ++dst_count[static_cast<std::size_t>(s.dst)];
+  }
+  for (int c : dst_count) EXPECT_EQ(c, 1);
+}
+
+TEST(HardSearch, WorstInstanceReproduces) {
+  net::Mesh mesh(2, 4);
+  HardSearchConfig config;
+  config.evaluations = 30;
+  config.restarts = 1;
+  config.seed = 5;
+  const auto result = search_hard_permutation(mesh, restricted_factory(),
+                                              config);
+  routing::RestrictedPriorityPolicy policy;
+  sim::Engine engine(mesh, result.worst, policy);
+  const auto rerun = engine.run();
+  ASSERT_TRUE(rerun.completed);
+  EXPECT_EQ(rerun.steps, result.worst_steps);
+}
+
+TEST(HardSearch, RejectsRandomizedPolicies) {
+  net::Mesh mesh(2, 4);
+  HardSearchConfig config;
+  config.evaluations = 4;
+  config.restarts = 1;
+  EXPECT_THROW(
+      search_hard_permutation(
+          mesh, [] { return std::make_unique<routing::GreedyRandomPolicy>(); },
+          config),
+      CheckError);
+}
+
+TEST(HardSearch, RejectsBadBudget) {
+  net::Mesh mesh(2, 4);
+  HardSearchConfig config;
+  config.evaluations = 2;
+  config.restarts = 5;
+  EXPECT_THROW(search_hard_permutation(mesh, restricted_factory(), config),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace hp::core

@@ -1,0 +1,140 @@
+// Claim 13 tests: surface(V) ≥ 2d · V^{(d−1)/d} for every volume of unit
+// cubes, the projection bound (equation (1)), and the shape generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/isoperimetry.hpp"
+#include "util/check.hpp"
+
+namespace hp::core {
+namespace {
+
+net::Coord at(std::initializer_list<int> xs) {
+  net::Coord c;
+  for (int x : xs) c.push_back(x);
+  return c;
+}
+
+TEST(CellSet, AddAndContains) {
+  CellSet s(2);
+  EXPECT_TRUE(s.add(at({1, 2})));
+  EXPECT_FALSE(s.add(at({1, 2})));  // duplicate ignored
+  EXPECT_TRUE(s.contains(at({1, 2})));
+  EXPECT_FALSE(s.contains(at({2, 1})));
+  EXPECT_EQ(s.volume(), 1u);
+}
+
+TEST(CellSet, SingleCubeSurface) {
+  for (int d = 1; d <= 4; ++d) {
+    CellSet s(d);
+    net::Coord c;
+    for (int a = 0; a < d; ++a) c.push_back(5);
+    s.add(c);
+    EXPECT_EQ(s.surface_area(), static_cast<std::size_t>(2 * d));
+    EXPECT_DOUBLE_EQ(claim13_bound(d, 1.0), 2.0 * d);
+  }
+}
+
+TEST(CellSet, TwoByTwoSquare) {
+  auto s = make_box({2, 2});
+  EXPECT_EQ(s.volume(), 4u);
+  EXPECT_EQ(s.surface_area(), 8u);
+  EXPECT_DOUBLE_EQ(claim13_bound(2, 4.0), 8.0);  // squares are extremal
+}
+
+TEST(Box, CubesAreExtremal) {
+  // For d-cubes of side s the bound 2d·V^{(d−1)/d} is met with equality.
+  for (int d = 1; d <= 3; ++d) {
+    for (int side : {1, 2, 3, 4}) {
+      std::vector<int> sides(static_cast<std::size_t>(d), side);
+      auto box = make_box(sides);
+      const double v = static_cast<double>(box.volume());
+      EXPECT_DOUBLE_EQ(static_cast<double>(box.surface_area()),
+                       2.0 * d * std::pow(v, (d - 1.0) / d))
+          << "d=" << d << " side=" << side;
+    }
+  }
+}
+
+TEST(Box, RectanglePerimeter) {
+  auto rect = make_box({5, 2});
+  EXPECT_EQ(rect.volume(), 10u);
+  EXPECT_EQ(rect.surface_area(), 14u);
+  EXPECT_GE(14.0, claim13_bound(2, 10.0));
+}
+
+TEST(Line, SurfaceIsMaximal) {
+  auto line = make_line(2, 0, 7);
+  EXPECT_EQ(line.volume(), 7u);
+  EXPECT_EQ(line.surface_area(), 2u * 7u + 2u);
+}
+
+TEST(Cross, ConnectedAndAboveBound) {
+  auto cross = make_cross(2, 3);
+  EXPECT_EQ(cross.volume(), 2u * (2 * 3 + 1) - 1);
+  EXPECT_GE(static_cast<double>(cross.surface_area()),
+            claim13_bound(2, static_cast<double>(cross.volume())));
+}
+
+TEST(Staircase, AboveBound) {
+  auto stairs = make_staircase(2, 20);
+  EXPECT_GE(static_cast<double>(stairs.surface_area()),
+            claim13_bound(2, static_cast<double>(stairs.volume())));
+}
+
+TEST(Projection, EquationOneHolds) {
+  // surface(V) ≥ 2 Σ |π_I(V)| for every shape we can build.
+  Rng rng(31);
+  for (int d = 2; d <= 3; ++d) {
+    for (std::size_t vol : {5u, 20u, 60u}) {
+      auto blob = make_random_blob(d, vol, rng);
+      EXPECT_GE(blob.surface_area(), projection_surface_lower_bound(blob));
+    }
+  }
+}
+
+TEST(Projection, BoxProjectionsExact) {
+  auto box = make_box({4, 3});
+  EXPECT_EQ(box.projection_size(0), 3u);  // drop x ⇒ y extent
+  EXPECT_EQ(box.projection_size(1), 4u);
+  EXPECT_EQ(projection_surface_lower_bound(box), 2u * (3u + 4u));
+}
+
+class Claim13Sweep
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(Claim13Sweep, RandomBlobsSatisfyClaim13) {
+  const auto [d, volume] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(d) * 1000 + volume);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto blob = make_random_blob(d, volume, rng);
+    ASSERT_EQ(blob.volume(), volume);
+    EXPECT_GE(static_cast<double>(blob.surface_area()),
+              claim13_bound(d, static_cast<double>(volume)) - 1e-9)
+        << "d=" << d << " V=" << volume;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Blobs, Claim13Sweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{7}, std::size_t{25},
+                                         std::size_t{100})));
+
+TEST(CellSet, RejectsBadCoordinates) {
+  CellSet s(2);
+  EXPECT_THROW(s.add(at({-1, 0})), CheckError);
+  EXPECT_THROW(s.add(at({0, 300})), CheckError);
+  EXPECT_THROW(s.add(at({0})), CheckError);  // arity mismatch
+}
+
+TEST(Generators, RejectDegenerateShapes) {
+  EXPECT_THROW(make_line(2, 5, 3), CheckError);
+  EXPECT_THROW(make_box({0, 2}), CheckError);
+  EXPECT_THROW(make_staircase(1, 5), CheckError);
+}
+
+}  // namespace
+}  // namespace hp::core

@@ -1,0 +1,119 @@
+// Parity-split tests (the Remark after Theorem 20): movement parity is
+// invariant, classes never interact, and — the strong form — routing the
+// classes together or separately yields bit-identical trajectories under
+// a deterministic policy.
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/parity.hpp"
+#include "routing/restricted_priority.hpp"
+#include "sim/engine.hpp"
+#include "test_support.hpp"
+#include "workload/generators.hpp"
+
+namespace hp::core {
+namespace {
+
+using test::xy;
+
+TEST(Parity, MovementParityAlternatesAcrossArcs) {
+  net::Mesh mesh(2, 6);
+  for (net::NodeId v = 0; v < static_cast<net::NodeId>(mesh.num_nodes());
+       ++v) {
+    for (net::Dir d = 0; d < mesh.num_dirs(); ++d) {
+      const net::NodeId nb = mesh.neighbor(v, d);
+      if (nb == net::kInvalidNode) continue;
+      EXPECT_NE(movement_parity(mesh, v), movement_parity(mesh, nb));
+    }
+  }
+}
+
+TEST(Parity, SplitPartitionsThePacketSet) {
+  net::Mesh mesh(2, 8);
+  Rng rng(17);
+  auto problem = workload::random_permutation(mesh, rng);
+  const auto classes = parity_split(mesh, problem);
+  EXPECT_EQ(classes[0].size() + classes[1].size(), problem.size());
+  // A permutation of the full mesh has exactly n²/2 origins per class.
+  EXPECT_EQ(classes[0].size(), mesh.num_nodes() / 2);
+  for (const auto& spec : classes[0].packets) {
+    EXPECT_EQ(movement_parity(mesh, spec.src), 0);
+  }
+  for (const auto& spec : classes[1].packets) {
+    EXPECT_EQ(movement_parity(mesh, spec.src), 1);
+  }
+}
+
+TEST(Parity, SplitBoundForPermutationIs8nSquared) {
+  net::Mesh mesh(2, 16);
+  Rng rng(19);
+  auto problem = workload::random_permutation(mesh, rng);
+  // 8√2·n·√(n²/2) = 8n².
+  EXPECT_NEAR(parity_split_bound(mesh, problem),
+              remark_permutation_bound(16), 1e-6);
+  EXPECT_LT(parity_split_bound(mesh, problem),
+            thm20_bound(16, static_cast<double>(problem.size())));
+}
+
+TEST(Parity, CombinedRunEqualsSeparateRuns) {
+  // The Remark's independence claim, in its strongest executable form:
+  // with a deterministic policy, each packet's arrival time is identical
+  // whether the two classes are routed together or alone.
+  net::Mesh mesh(2, 8);
+  Rng rng(23);
+  auto problem = workload::random_permutation(mesh, rng);
+  const auto classes = parity_split(mesh, problem);
+
+  routing::RestrictedPriorityPolicy combined_policy;
+  sim::Engine combined(mesh, problem, combined_policy);
+  const auto combined_result = combined.run();
+  ASSERT_TRUE(combined_result.completed);
+
+  std::uint64_t max_class_steps = 0;
+  for (const auto& cls : classes) {
+    routing::RestrictedPriorityPolicy class_policy;
+    sim::Engine engine(mesh, cls, class_policy);
+    const auto result = engine.run();
+    ASSERT_TRUE(result.completed);
+    max_class_steps = std::max(max_class_steps, result.steps);
+    // Match up arrival times by (src, dst) pair.
+    for (std::size_t i = 0; i < cls.packets.size(); ++i) {
+      const auto& spec = cls.packets[i];
+      bool found = false;
+      for (const auto& p : combined_result.packets) {
+        if (p.src == spec.src && p.dst == spec.dst) {
+          EXPECT_EQ(p.arrived_at, result.packets[i].arrived_at)
+              << "packet " << spec.src << "→" << spec.dst
+              << " routed differently with the other class present";
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+  EXPECT_EQ(combined_result.steps, max_class_steps);
+}
+
+TEST(Parity, RefusesTorus) {
+  net::Mesh torus(2, 8, /*wrap=*/true);
+  workload::Problem p;
+  EXPECT_THROW(parity_split(torus, p), CheckError);
+}
+
+TEST(Parity, PermutationsMeetTheSplitBound) {
+  for (int n : {8, 16}) {
+    net::Mesh mesh(2, n);
+    Rng rng(29 + static_cast<std::uint64_t>(n));
+    auto problem = workload::random_permutation(mesh, rng);
+    routing::RestrictedPriorityPolicy policy;
+    sim::Engine engine(mesh, problem, policy);
+    const auto result = engine.run();
+    ASSERT_TRUE(result.completed);
+    EXPECT_LE(static_cast<double>(result.steps),
+              parity_split_bound(mesh, problem));
+  }
+}
+
+}  // namespace
+}  // namespace hp::core

@@ -1,0 +1,106 @@
+// Store-and-forward dimension-order baseline tests.
+#include <gtest/gtest.h>
+
+#include "routing/store_forward.hpp"
+#include "test_support.hpp"
+#include "workload/generators.hpp"
+
+namespace hp::routing {
+namespace {
+
+using test::make_problem;
+using test::xy;
+
+TEST(StoreForward, SinglePacketTakesShortestPath) {
+  net::Mesh mesh(2, 8);
+  auto problem = make_problem(
+      {{mesh.node_at(xy(0, 0)), mesh.node_at(xy(5, 3))}});
+  const auto result = run_store_forward(mesh, problem);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.steps, 8u);
+  EXPECT_EQ(result.arrival[0], 8u);
+  EXPECT_EQ(result.initial_distance[0], 8);
+}
+
+TEST(StoreForward, PreRoutedPacketCostsZero) {
+  net::Mesh mesh(2, 4);
+  auto problem = make_problem({{7, 7}});
+  const auto result = run_store_forward(mesh, problem);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.steps, 0u);
+}
+
+TEST(StoreForward, ContendedLinkSerializes) {
+  // Two packets from the same node along the same first link: the second
+  // waits one step in the queue (buffering, unlike hot-potato).
+  net::Mesh mesh(2, 8);
+  const auto src = mesh.node_at(xy(0, 0));
+  auto problem = make_problem(
+      {{src, mesh.node_at(xy(3, 0))}, {src, mesh.node_at(xy(4, 0))}});
+  const auto result = run_store_forward(mesh, problem);
+  ASSERT_TRUE(result.completed);
+  // First leaves at step 1 and arrives at 3; second starts 1 behind.
+  EXPECT_EQ(result.arrival[0], 3u);
+  EXPECT_EQ(result.arrival[1], 5u);
+  EXPECT_GE(result.max_queue, 2u);
+}
+
+TEST(StoreForward, RoutesXBeforeY) {
+  // A packet to (2,2) must arrive via the north arc of (2,2) after
+  // correcting x first — indirectly observable: with a blocker occupying
+  // the x-line the packet queues rather than adapting. Here we just check
+  // completion and latency equals distance for a lone packet (no
+  // adaptivity means no detours ever).
+  net::Mesh mesh(2, 6);
+  auto problem = make_problem(
+      {{mesh.node_at(xy(0, 4)), mesh.node_at(xy(2, 2))}});
+  const auto result = run_store_forward(mesh, problem);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.steps, 4u);
+}
+
+TEST(StoreForward, PermutationCompletes) {
+  net::Mesh mesh(2, 8);
+  Rng rng(21);
+  auto problem = workload::random_permutation(mesh, rng);
+  const auto result = run_store_forward(mesh, problem);
+  ASSERT_TRUE(result.completed);
+  EXPECT_GE(result.steps, static_cast<std::uint64_t>(
+                              1));  // sanity: nonzero work happened
+}
+
+TEST(StoreForward, LatencyNeverBelowDistance) {
+  net::Mesh mesh(2, 8);
+  Rng rng(22);
+  auto problem = workload::random_many_to_many(mesh, 120, rng);
+  const auto result = run_store_forward(mesh, problem);
+  ASSERT_TRUE(result.completed);
+  for (std::size_t i = 0; i < problem.size(); ++i) {
+    EXPECT_GE(result.arrival[i],
+              static_cast<std::uint64_t>(result.initial_distance[i]));
+  }
+}
+
+TEST(StoreForward, MaxStepsCapReported) {
+  net::Mesh mesh(2, 8);
+  Rng rng(23);
+  auto problem = workload::random_many_to_many(mesh, 60, rng);
+  const auto result = run_store_forward(mesh, problem, /*max_steps=*/2);
+  EXPECT_FALSE(result.completed);
+}
+
+TEST(StoreForward, HotspotQueuesGrow) {
+  // Many packets to one destination: dimension-order queues pile up at
+  // the target's in-links — the cost of buffered routing the paper's
+  // optical-network motivation wants to avoid.
+  net::Mesh mesh(2, 8);
+  Rng rng(24);
+  auto problem = workload::single_target(mesh, 80, mesh.node_at(xy(4, 4)),
+                                         rng);
+  const auto result = run_store_forward(mesh, problem);
+  ASSERT_TRUE(result.completed);
+  EXPECT_GT(result.max_queue, 4u);
+}
+
+}  // namespace
+}  // namespace hp::routing

@@ -1,0 +1,200 @@
+// Workload generator tests: the Section 2 many-to-many constraints and the
+// specific shapes of each generator.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "test_support.hpp"
+#include "topology/hypercube.hpp"
+#include "workload/generators.hpp"
+
+namespace hp::workload {
+namespace {
+
+using test::xy;
+
+void expect_valid(const net::Network& net, const Problem& p) {
+  EXPECT_NO_THROW(p.validate(net));
+}
+
+TEST(Problem, ValidateEnforcesOriginCapacity) {
+  net::Mesh mesh(2, 4);
+  Problem p;
+  const auto corner = mesh.node_at(xy(0, 0));  // degree 2
+  p.packets = {{corner, 1}, {corner, 2}};
+  EXPECT_NO_THROW(p.validate(mesh));
+  p.packets.push_back({corner, 3});
+  EXPECT_THROW(p.validate(mesh), CheckError);
+}
+
+TEST(Problem, MaxDistance) {
+  net::Mesh mesh(2, 8);
+  Problem p;
+  p.packets = {{mesh.node_at(xy(0, 0)), mesh.node_at(xy(7, 7))},
+               {mesh.node_at(xy(1, 1)), mesh.node_at(xy(1, 2))}};
+  EXPECT_EQ(p.max_distance(mesh), 14);
+}
+
+TEST(RandomManyToMany, RespectsSizeAndCapacity) {
+  net::Mesh mesh(2, 8);
+  Rng rng(1);
+  for (std::size_t k : {1u, 10u, 100u, 200u}) {
+    auto p = random_many_to_many(mesh, k, rng);
+    EXPECT_EQ(p.size(), k);
+    expect_valid(mesh, p);
+  }
+}
+
+TEST(RandomManyToMany, RejectsOverCapacity) {
+  net::Mesh mesh(2, 2);  // 4 nodes, each degree 2 ⇒ capacity 8
+  Rng rng(2);
+  EXPECT_NO_THROW(random_many_to_many(mesh, 8, rng));
+  EXPECT_THROW(random_many_to_many(mesh, 9, rng), CheckError);
+}
+
+TEST(RandomPermutation, IsAPermutation) {
+  net::Mesh mesh(2, 6);
+  Rng rng(3);
+  auto p = random_permutation(mesh, rng);
+  EXPECT_EQ(p.size(), mesh.num_nodes());
+  expect_valid(mesh, p);
+  std::set<net::NodeId> sources, dests;
+  for (const auto& s : p.packets) {
+    sources.insert(s.src);
+    dests.insert(s.dst);
+  }
+  EXPECT_EQ(sources.size(), mesh.num_nodes());
+  EXPECT_EQ(dests.size(), mesh.num_nodes());
+}
+
+TEST(Transpose, MapsXYtoYX) {
+  net::Mesh mesh(2, 5);
+  auto p = transpose(mesh);
+  expect_valid(mesh, p);
+  for (const auto& s : p.packets) {
+    const auto c = mesh.coords(s.src);
+    const auto t = mesh.coords(s.dst);
+    EXPECT_EQ(c[0], t[1]);
+    EXPECT_EQ(c[1], t[0]);
+  }
+}
+
+TEST(BitReversal, SelfInverse) {
+  net::Mesh mesh(2, 8);
+  auto p = bit_reversal(mesh);
+  expect_valid(mesh, p);
+  std::map<net::NodeId, net::NodeId> fwd;
+  for (const auto& s : p.packets) fwd[s.src] = s.dst;
+  for (const auto& [src, dst] : fwd) {
+    EXPECT_EQ(fwd[dst], src);
+  }
+}
+
+TEST(BitReversal, RequiresPowerOfTwo) {
+  net::Mesh mesh(2, 6);
+  EXPECT_THROW(bit_reversal(mesh), CheckError);
+}
+
+TEST(Inversion, EveryPacketCrossesCenter) {
+  net::Mesh mesh(2, 8);
+  auto p = inversion(mesh);
+  expect_valid(mesh, p);
+  // The corner packet travels the full diameter.
+  EXPECT_EQ(p.max_distance(mesh), mesh.diameter());
+  // Inversion is an involution.
+  std::map<net::NodeId, net::NodeId> fwd;
+  for (const auto& s : p.packets) fwd[s.src] = s.dst;
+  for (const auto& [src, dst] : fwd) EXPECT_EQ(fwd[dst], src);
+}
+
+TEST(SingleTarget, AllToOne) {
+  net::Mesh mesh(2, 8);
+  Rng rng(4);
+  const auto target = mesh.node_at(xy(4, 4));
+  auto p = single_target(mesh, 50, target, rng);
+  EXPECT_EQ(p.size(), 50u);
+  expect_valid(mesh, p);
+  for (const auto& s : p.packets) EXPECT_EQ(s.dst, target);
+}
+
+TEST(Hotspot, DestinationsConcentrate) {
+  net::Mesh mesh(2, 8);
+  Rng rng(5);
+  auto p = hotspot(mesh, 60, 3, rng);
+  expect_valid(mesh, p);
+  std::set<net::NodeId> dests;
+  for (const auto& s : p.packets) dests.insert(s.dst);
+  EXPECT_LE(dests.size(), 3u);
+}
+
+TEST(CornerToCorner, SourcesInOneQuadrantDestsInOpposite) {
+  net::Mesh mesh(2, 8);
+  Rng rng(6);
+  auto p = corner_to_corner(mesh, rng);
+  EXPECT_EQ(p.size(), 16u);  // (n/2)² sources
+  expect_valid(mesh, p);
+  for (const auto& s : p.packets) {
+    const auto c = mesh.coords(s.src);
+    const auto t = mesh.coords(s.dst);
+    EXPECT_LT(c[0], 4);
+    EXPECT_LT(c[1], 4);
+    EXPECT_GE(t[0], 4);
+    EXPECT_GE(t[1], 4);
+  }
+}
+
+TEST(SaturatedRandom, FillsEveryNodeToItsDegree) {
+  net::Mesh mesh(2, 6);
+  Rng rng(7);
+  auto p = saturated_random(mesh, 4, rng);
+  expect_valid(mesh, p);
+  std::map<net::NodeId, int> per_origin;
+  for (const auto& s : p.packets) ++per_origin[s.src];
+  for (net::NodeId v = 0; v < static_cast<net::NodeId>(mesh.num_nodes());
+       ++v) {
+    EXPECT_EQ(per_origin[v], mesh.degree(v));
+  }
+}
+
+TEST(RowsToRandomColumns, EachRowTargetsOneColumn) {
+  net::Mesh mesh(2, 6);
+  Rng rng(8);
+  auto p = rows_to_random_columns(mesh, rng);
+  expect_valid(mesh, p);
+  EXPECT_EQ(p.size(), mesh.num_nodes());
+  // All packets originating in row y go to the same column.
+  std::map<int, std::set<int>> row_to_cols;
+  for (const auto& s : p.packets) {
+    row_to_cols[mesh.coords(s.src)[1]].insert(mesh.coords(s.dst)[0]);
+  }
+  for (const auto& [row, cols] : row_to_cols) {
+    EXPECT_EQ(cols.size(), 1u) << "row " << row;
+  }
+}
+
+TEST(Generators, WorkOnHypercube) {
+  net::Hypercube cube(4);
+  Rng rng(9);
+  auto p1 = random_many_to_many(cube, 30, rng);
+  expect_valid(cube, p1);
+  auto p2 = random_permutation(cube, rng);
+  expect_valid(cube, p2);
+  auto p3 = single_target(cube, 20, 5, rng);
+  expect_valid(cube, p3);
+}
+
+TEST(Generators, AreDeterministicGivenSeed) {
+  net::Mesh mesh(2, 8);
+  Rng r1(42), r2(42);
+  auto p1 = random_many_to_many(mesh, 40, r1);
+  auto p2 = random_many_to_many(mesh, 40, r2);
+  ASSERT_EQ(p1.size(), p2.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(p1.packets[i].src, p2.packets[i].src);
+    EXPECT_EQ(p1.packets[i].dst, p2.packets[i].dst);
+  }
+}
+
+}  // namespace
+}  // namespace hp::workload
