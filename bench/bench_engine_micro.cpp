@@ -1,8 +1,13 @@
 // E16 — engine micro-benchmarks (google-benchmark): simulation throughput
 // in node-routing operations and full steps per second, plus the topology
-// primitives the inner loop leans on.
+// primitives the inner loop leans on. After the google-benchmark suite, a
+// direct-measurement pass writes BENCH_engine.json with steps/sec,
+// per-step ns, and peak in-flight for the headline configurations.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench_json.hpp"
 #include "routing/restricted_priority.hpp"
 #include "sim/engine.hpp"
 #include "topology/hypercube.hpp"
@@ -97,7 +102,59 @@ void BM_HypercubeRun(benchmark::State& state) {
 }
 BENCHMARK(BM_HypercubeRun)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
 
+/// One timed batch run: a random permutation on the n×n mesh (k = n²
+/// packets), drained to completion. Reports wall time, steps/sec, mean ns
+/// per step, and the peak in-flight population.
+void measure_permutation(bench::JsonReport& report, int n, int threads) {
+  net::Mesh mesh(2, n);
+  Rng rng(11);
+  auto problem = workload::random_permutation(mesh, rng);
+  routing::RestrictedPriorityPolicy policy;
+  sim::EngineConfig config;
+  config.num_threads = threads;
+  config.archive_arrivals = false;
+  sim::Engine engine(mesh, problem, policy, config);
+
+  std::size_t peak = engine.in_flight();
+  std::uint64_t steps = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (engine.step()) {
+    ++steps;
+    peak = std::max(peak, engine.in_flight());
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double sec = std::chrono::duration<double>(t1 - t0).count();
+
+  report.add("permutation_n" + std::to_string(n) + "_t" +
+                 std::to_string(threads),
+             {{"nodes", static_cast<double>(mesh.num_nodes())},
+              {"packets", static_cast<double>(problem.size())},
+              {"threads", static_cast<double>(threads)},
+              {"steps", static_cast<double>(steps)},
+              {"wall_ms", sec * 1e3},
+              {"steps_per_sec", static_cast<double>(steps) / sec},
+              {"per_step_ns", sec * 1e9 / static_cast<double>(steps)},
+              {"peak_in_flight", static_cast<double>(peak)}});
+}
+
+void write_engine_json() {
+  bench::JsonReport report("hotpotato-bench-engine-v1");
+  // Headline configuration for the flight-table refactor: n = 256 mesh,
+  // k = n² permutation — big enough that per-step overhead dominates.
+  measure_permutation(report, 256, 1);
+  measure_permutation(report, 256, 4);
+  measure_permutation(report, 64, 1);
+  report.write("BENCH_engine.json");
+}
+
 }  // namespace
 }  // namespace hp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  hp::write_engine_json();
+  return 0;
+}

@@ -6,11 +6,57 @@
 // Expected shape: throughput tracks the offered load until the network
 // saturates, then flattens while latency and the deflection rate climb —
 // the classic deflection-network load curve.
+#include <chrono>
+
 #include "bench_common.hpp"
+#include "bench_json.hpp"
+#include "sim/injection.hpp"
 #include "stats/steady_state.hpp"
 
 namespace hp::bench {
 namespace {
+
+/// Long-horizon per-step cost: run > 10⁶ injected steps and report
+/// steps/sec per window. With O(in-flight) step cost the curve is flat —
+/// the windows do not slow down as the delivered-packet count grows into
+/// the millions. Written to BENCH_steady_state.json.
+void throughput_flatness() {
+  print_header("E17c", "Per-step cost over 1.2M continuously-injected steps "
+                       "(flat curve = O(in-flight) hot path)");
+  net::Mesh mesh(2, 8);
+  auto policy = make_policy("restricted");
+  sim::EngineConfig config;
+  config.seed = 9;
+  config.detect_livelock = false;
+  config.archive_arrivals = false;  // unbounded run: keep memory bounded
+  sim::Engine engine(mesh, {}, *policy, config);
+  sim::BernoulliInjector injector(0.2, 41);
+  engine.set_injector(&injector);
+
+  constexpr std::uint64_t kWindow = 100'000;
+  constexpr int kWindows = 12;
+  JsonReport report("hotpotato-bench-steady-state-v1");
+  TablePrinter table({"window", "steps", "delivered_total", "steps/sec"});
+  for (int w = 0; w < kWindows; ++w) {
+    const auto t0 = std::chrono::steady_clock::now();
+    engine.run_for(kWindow);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double sec = std::chrono::duration<double>(t1 - t0).count();
+    const double sps = static_cast<double>(kWindow) / sec;
+    table.row()
+        .add(static_cast<std::int64_t>(w))
+        .add(static_cast<double>(engine.now()), 0)
+        .add(static_cast<double>(engine.delivered()), 0)
+        .add(sps, 0);
+    report.add("window_" + std::to_string(w),
+               {{"steps_total", static_cast<double>(engine.now())},
+                {"delivered_total", static_cast<double>(engine.delivered())},
+                {"in_flight", static_cast<double>(engine.in_flight())},
+                {"steps_per_sec", sps}});
+  }
+  table.print(std::cout);
+  report.write("BENCH_steady_state.json");
+}
 
 void load_curve(const net::Mesh& network) {
   print_header("E17", "Steady-state load curve on " + network.name() +
@@ -68,5 +114,6 @@ int main() {
   hp::net::Mesh torus(2, 16, /*wrap=*/true);
   hp::bench::load_curve(torus);
   hp::bench::policy_comparison();
+  hp::bench::throughput_flatness();
   return 0;
 }

@@ -52,6 +52,7 @@ struct Options {
   std::string load_path;  // route this instance instead of generating one
   double inject_rate = -1.0;       // >= 0 switches to steady-state mode
   std::uint64_t inject_steps = 2000;
+  int threads = 1;
 };
 
 void usage() {
@@ -77,6 +78,8 @@ void usage() {
                                     arrivals instead of a batch workload
   --inject-steps T                  steady-state run length (default 2000,
                                     first 20% is warmup)
+  --threads W                       routing-phase worker threads (default 1;
+                                    results are identical for every W)
   --help
 )";
 }
@@ -204,6 +207,8 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.inject_rate = std::stod(value());
     } else if (arg == "--inject-steps") {
       opt.inject_steps = std::stoull(value());
+    } else if (arg == "--threads") {
+      opt.threads = std::stoi(value());
     } else if (arg == "--save") {
       opt.save_path = value();
     } else if (arg == "--load") {
@@ -269,6 +274,7 @@ int main(int argc, char** argv) {
     hp::sim::EngineConfig config;
     config.max_steps = opt.max_steps;
     config.seed = opt.seed;
+    config.num_threads = opt.threads;
     hp::sim::Engine engine(*network, problem, *policy, config);
 
     // Optional instrumentation.

@@ -31,14 +31,14 @@ PotentialTracker::PotentialTracker(const net::Network& net,
   HP_REQUIRE(config_.d >= 1, "dimension must be positive");
   HP_REQUIRE(engine.now() == 0,
              "PotentialTracker must be attached before the first step");
-  c_.assign(engine.packets().size(), config_.c_init);
-  for (const sim::Packet& p : engine.packets()) {
-    if (p.arrived()) {
-      // Delivered at injection (src == dst): zero potential from the start.
-      c_[static_cast<std::size_t>(p.id)] = 0;
-    } else {
-      phi_ += net_.distance(p.pos, p.dst) + config_.c_init;
-    }
+  c_.assign(engine.num_packets(), config_.c_init);
+  for (const sim::Packet& p : engine.archive()) {
+    // Delivered at injection (src == dst): zero potential from the start.
+    c_[static_cast<std::size_t>(p.id)] = 0;
+  }
+  const sim::FlightTable& flight = engine.flight();
+  for (sim::FlightTable::Slot s = 0; s < flight.end_slot(); ++s) {
+    phi_ += net_.distance(flight.pos(s), flight.dst(s)) + config_.c_init;
   }
   phi_series_.push_back(phi_);
 }

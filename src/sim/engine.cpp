@@ -6,24 +6,77 @@
 
 namespace hp::sim {
 
+namespace {
+
+/// Seed of the policy's random stream at (engine seed, step, node). Each
+/// node gets an independent stream, so routing decisions are a pure
+/// function of the node's residents — independent of the order nodes are
+/// processed in, which is what makes sharded routing bit-identical to
+/// serial routing.
+std::uint64_t node_stream_seed(std::uint64_t seed, std::uint64_t step,
+                               net::NodeId node) {
+  std::uint64_t s = seed ^ (0x9e3779b97f4a7c15ULL * (step + 1));
+  const std::uint64_t a = splitmix64(s);
+  s ^= a + 0xbf58476d1ce4e5b9ULL *
+               (static_cast<std::uint64_t>(static_cast<std::uint32_t>(node)) +
+                1);
+  return splitmix64(s);
+}
+
+/// Inserts `id` into an id-sorted bucket. Buckets hold at most the node
+/// degree, so this is a handful of moves at worst.
+void sorted_insert(InlineVector<PacketId, 2 * net::kMaxDim>& bucket,
+                   PacketId id) {
+  bucket.push_back(id);
+  std::size_t i = bucket.size() - 1;
+  while (i > 0 && bucket[i - 1] > bucket[i]) {
+    std::swap(bucket[i - 1], bucket[i]);
+    --i;
+  }
+}
+
+}  // namespace
+
 Engine::Engine(const net::Network& net, const workload::Problem& problem,
                RoutingPolicy& policy, EngineConfig config)
     : net_(net),
       policy_(policy),
       config_(config),
-      rng_(config.seed),
       occupancy_(net.num_nodes()),
       node_stamp_(net.num_nodes(), ~std::uint64_t{0}) {
+  HP_REQUIRE(config_.num_threads >= 1 && config_.num_threads <= 512,
+             "num_threads must be in [1, 512]");
+  archive_.set_keep_records(config_.archive_arrivals);
+
+  num_dirs_ = net.num_dirs();
+  const auto n = net.num_nodes();
+  degree_.resize(n);
+  avail_dirs_.resize(n);
+  neighbor_table_.resize(n * static_cast<std::size_t>(num_dirs_));
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto node = static_cast<net::NodeId>(v);
+    for (net::Dir d = 0; d < num_dirs_; ++d) {
+      const net::NodeId nb = net.neighbor(node, d);
+      neighbor_table_[v * static_cast<std::size_t>(num_dirs_) +
+                      static_cast<std::size_t>(d)] = nb;
+      if (nb != net::kInvalidNode) {
+        avail_dirs_[v].push_back(d);
+        ++degree_[v];
+      }
+    }
+  }
+
   problem.validate(net);
   inject(problem);
+  if (config_.num_threads > 1) start_pool();
 }
 
+Engine::~Engine() { stop_pool(); }
+
 void Engine::inject(const workload::Problem& problem) {
-  packets_.reserve(problem.packets.size());
-  PacketId next_id = 0;
   for (const auto& spec : problem.packets) {
     Packet p;
-    p.id = next_id++;
+    p.id = static_cast<PacketId>(next_id_++);
     p.src = spec.src;
     p.dst = spec.dst;
     p.pos = spec.src;
@@ -32,10 +85,11 @@ void Engine::inject(const workload::Problem& problem) {
       // Trivial packet: delivered at injection, never routed.
       p.arrived_at = 0;
       ++delivered_;
+      flight_.note_absent(p.id);
+      archive_.append(p);
     } else {
-      ++in_flight_;
+      flight_.insert(p);
     }
-    packets_.push_back(p);
   }
 }
 
@@ -44,25 +98,58 @@ void Engine::add_observer(StepObserver* observer) {
   observers_.push_back(observer);
 }
 
+Packet Engine::packet(PacketId id) const {
+  const FlightTable::Slot s = flight_.slot_of(id);
+  if (s != FlightTable::kNoSlot) return flight_.materialize(s);
+  for (const Packet& p : step_arrivals_) {
+    if (p.id == id) return p;
+  }
+  const Packet* archived = archive_.find(id);
+  HP_CHECK(archived != nullptr,
+           "no record of packet " + std::to_string(id) +
+               " (delivered and archive_arrivals is off?)");
+  return *archived;
+}
+
+net::NodeId Engine::packet_dst(PacketId id) const {
+  const FlightTable::Slot s = flight_.slot_of(id);
+  if (s != FlightTable::kNoSlot) return flight_.dst(s);
+  return packet(id).dst;
+}
+
+std::vector<Packet> Engine::snapshot_packets() const {
+  HP_REQUIRE(config_.archive_arrivals,
+             "snapshot_packets() needs archive_arrivals = true");
+  std::vector<Packet> out(static_cast<std::size_t>(next_id_));
+  for (const Packet& p : archive_.records()) {
+    out[static_cast<std::size_t>(p.id)] = p;
+  }
+  for (FlightTable::Slot s = 0; s < flight_.end_slot(); ++s) {
+    out[static_cast<std::size_t>(flight_.id(s))] = flight_.materialize(s);
+  }
+  return out;
+}
+
 std::vector<PacketId> Engine::packets_at(net::NodeId node) const {
   std::vector<PacketId> out;
-  for (const Packet& p : packets_) {
-    if (!p.arrived() && p.pos == node) out.push_back(p.id);
+  for (FlightTable::Slot s = 0; s < flight_.end_slot(); ++s) {
+    if (flight_.pos(s) == node) out.push_back(flight_.id(s));
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 void Engine::build_occupancy() {
   occupied_.clear();
-  for (const Packet& p : packets_) {
-    if (p.arrived()) continue;
-    const auto node = static_cast<std::size_t>(p.pos);
-    if (node_stamp_[node] != now_) {
-      node_stamp_[node] = now_;
-      occupancy_[node].clear();
-      occupied_.push_back(p.pos);
+  for (FlightTable::Slot s = 0; s < flight_.end_slot(); ++s) {
+    const net::NodeId node = flight_.pos(s);
+    const auto n = static_cast<std::size_t>(node);
+    if (node_stamp_[n] != now_) {
+      node_stamp_[n] = now_;
+      occupancy_[n].clear();
+      occupied_.push_back(node);
     }
-    occupancy_[node].push_back(p.id);
+    sorted_insert(occupancy_[n], flight_.id(s));
   }
 }
 
@@ -79,7 +166,7 @@ bool Engine::try_inject(net::NodeId src, net::NodeId dst) {
   HP_REQUIRE(dst >= 0 && dst < n, "injection destination out of range");
 
   Packet p;
-  p.id = static_cast<PacketId>(packets_.size());
+  p.id = static_cast<PacketId>(next_id_);
   p.src = src;
   p.dst = dst;
   p.pos = src;
@@ -87,8 +174,10 @@ bool Engine::try_inject(net::NodeId src, net::NodeId dst) {
   p.initial_distance = net_.distance(src, dst);
   if (src == dst) {
     p.arrived_at = now_;
+    ++next_id_;
     ++delivered_;
-    packets_.push_back(p);
+    flight_.note_absent(p.id);
+    archive_.append(p);
     return true;
   }
 
@@ -99,56 +188,58 @@ bool Engine::try_inject(net::NodeId src, net::NodeId dst) {
     occupancy_[node].clear();
     occupied_.push_back(src);
   }
-  if (static_cast<int>(occupancy_[node].size()) >= net_.degree(src)) {
+  if (static_cast<int>(occupancy_[node].size()) >= degree_[node]) {
     return false;
   }
-  occupancy_[node].push_back(p.id);
-  packets_.push_back(p);
-  ++in_flight_;
+  ++next_id_;
+  sorted_insert(occupancy_[node], p.id);
+  flight_.insert(p);
   return true;
 }
 
-void Engine::route_node(net::NodeId node,
-                        const std::vector<PacketId>& residents) {
-  const int degree = net_.degree(node);
-  HP_CHECK(static_cast<int>(residents.size()) <= degree,
+void Engine::route_node(net::NodeId node, const Bucket& residents,
+                        std::vector<Assignment>& out) {
+  HP_CHECK(static_cast<int>(residents.size()) <=
+               degree_[static_cast<std::size_t>(node)],
            "more packets at a node than its degree — model violation");
 
-  NodeContext ctx{net_, node, now_, {}, rng_};
-  for (net::Dir d = 0; d < net_.num_dirs(); ++d) {
-    if (net_.arc_exists(node, d)) ctx.avail_dirs.push_back(d);
-  }
+  Rng node_rng(node_stream_seed(config_.seed, now_, node));
+  NodeContext ctx{net_, node, now_,
+                  avail_dirs_[static_cast<std::size_t>(node)], node_rng};
 
   InlineVector<PacketView, 2 * net::kMaxDim> views;
   for (PacketId id : residents) {
-    const Packet& p = packets_[static_cast<std::size_t>(id)];
+    const FlightTable::Slot s = flight_.slot_of(id);
     PacketView v;
     v.id = id;
-    v.dst = p.dst;
-    v.entry_dir = p.last_move_dir;
-    v.good = net_.good_dirs(node, p.dst);
+    v.dst = flight_.dst(s);
+    v.entry_dir = flight_.entry_dir(s);
+    v.good = net_.good_dirs(node, v.dst);
     HP_CHECK(!v.good.empty(),
              "packet with no good direction was not absorbed — engine bug");
-    v.prev_advanced = p.prev_advanced;
-    v.prev_num_good = p.prev_num_good;
+    v.prev_advanced = flight_.prev_advanced(s);
+    v.prev_num_good = flight_.prev_num_good(s);
     views.push_back(v);
   }
 
-  InlineVector<net::Dir, 2 * net::kMaxDim> out;
+  InlineVector<net::Dir, 2 * net::kMaxDim> dirs;
   for (std::size_t i = 0; i < residents.size(); ++i) {
-    out.push_back(net::kInvalidDir);
+    dirs.push_back(net::kInvalidDir);
   }
   policy_.route(ctx, std::span<const PacketView>(views.data(), views.size()),
-                std::span<net::Dir>(out.data(), out.size()));
+                std::span<net::Dir>(dirs.data(), dirs.size()));
 
   // Validate the assignment: every packet got an existing arc and no arc
   // is used twice (one packet per directed link per step).
   std::uint32_t used_mask = 0;
   for (std::size_t i = 0; i < residents.size(); ++i) {
-    const net::Dir d = out[i];
+    const net::Dir d = dirs[i];
     HP_CHECK(d >= 0 && d < net_.num_dirs(),
              "policy '" + policy_.name() + "' returned an invalid direction");
-    HP_CHECK(net_.arc_exists(node, d),
+    HP_CHECK(neighbor_table_[static_cast<std::size_t>(node) *
+                                 static_cast<std::size_t>(num_dirs_) +
+                             static_cast<std::size_t>(d)] !=
+                 net::kInvalidNode,
              "policy '" + policy_.name() + "' routed a packet off the mesh");
     const std::uint32_t bit = std::uint32_t{1} << d;
     HP_CHECK((used_mask & bit) == 0,
@@ -165,102 +256,193 @@ void Engine::route_node(net::NodeId node,
     a.was_type_a = views[i].type_a();
     a.prev_advanced = views[i].prev_advanced;
     a.prev_num_good = views[i].prev_num_good;
-    assignments_.push_back(a);
+    out.push_back(a);
   }
 }
 
+void Engine::route_range(std::size_t begin, std::size_t end,
+                         std::vector<Assignment>& out) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const net::NodeId node = occupied_[i];
+    route_node(node, occupancy_[static_cast<std::size_t>(node)], out);
+  }
+}
+
+void Engine::route_all() {
+  const std::size_t m = occupied_.size();
+  const auto threads = static_cast<std::size_t>(config_.num_threads);
+  // Small steps are routed inline: sharding only buys wall-clock, never
+  // changes results, so the cutover point is a pure tuning knob.
+  if (threads <= 1 || m < 2 * threads) {
+    route_range(0, m, assignments_);
+    return;
+  }
+
+  const std::size_t shards = std::min(threads, m);
+  shard_ranges_.assign(shards, {});
+  if (shard_bufs_.size() < shards) shard_bufs_.resize(shards);
+  shard_errors_.assign(shards, nullptr);
+  for (std::size_t w = 0; w < shards; ++w) {
+    shard_ranges_[w].begin = m * w / shards;
+    shard_ranges_[w].end = m * (w + 1) / shards;
+    shard_bufs_[w].clear();
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(pool_mu_);
+    pool_active_shards_ = shards;
+    pool_pending_ = shards;
+    ++pool_epoch_;
+    pool_cv_.notify_all();
+    done_cv_.wait(lock, [&] { return pool_pending_ == 0; });
+  }
+  for (std::size_t w = 0; w < shards; ++w) {
+    if (shard_errors_[w]) std::rethrow_exception(shard_errors_[w]);
+  }
+  // Concatenate per-shard buffers in shard order: the result is the same
+  // sequence a serial traversal of occupied_ produces.
+  for (std::size_t w = 0; w < shards; ++w) {
+    assignments_.insert(assignments_.end(), shard_bufs_[w].begin(),
+                        shard_bufs_[w].end());
+  }
+}
+
+void Engine::start_pool() {
+  const auto threads = static_cast<std::size_t>(config_.num_threads);
+  workers_.reserve(threads);
+  shard_bufs_.resize(threads);
+  for (std::size_t w = 0; w < threads; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+void Engine::stop_pool() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    pool_stop_ = true;
+    pool_cv_.notify_all();
+  }
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+void Engine::worker_loop(std::size_t worker_index) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    ShardRange range;
+    bool has_work = false;
+    {
+      std::unique_lock<std::mutex> lock(pool_mu_);
+      pool_cv_.wait(lock, [&] {
+        return pool_stop_ || pool_epoch_ != seen_epoch;
+      });
+      if (pool_stop_) return;
+      seen_epoch = pool_epoch_;
+      if (worker_index < pool_active_shards_) {
+        range = shard_ranges_[worker_index];
+        has_work = true;
+      }
+    }
+    if (has_work) {
+      try {
+        route_range(range.begin, range.end, shard_bufs_[worker_index]);
+      } catch (...) {
+        shard_errors_[worker_index] = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      if (--pool_pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void Engine::apply_assignments() {
+  for (const Assignment& a : assignments_) {
+    const FlightTable::Slot s = flight_.slot_of(a.pkt);
+    HP_CHECK(s != FlightTable::kNoSlot,
+             "assignment for a packet that is not in flight");
+    const net::NodeId to =
+        neighbor_table_[static_cast<std::size_t>(a.node) *
+                            static_cast<std::size_t>(num_dirs_) +
+                        static_cast<std::size_t>(a.out)];
+    HP_CHECK(to != net::kInvalidNode, "movement off the network");
+    flight_.move(s, to, a.out, a.advances, a.num_good);
+    if (a.advances) {
+      ++total_advances_;
+    } else {
+      ++total_deflections_;
+    }
+    if (to == flight_.dst(s)) {
+      Packet record = flight_.remove(s, now_ + 1);
+      last_arrival_ = now_ + 1;
+      ++delivered_;
+      step_arrivals_.push_back(record);
+    }
+  }
+  for (const Packet& p : step_arrivals_) archive_.append(p);
+}
+
 bool Engine::step() {
-  if ((in_flight_ == 0 && injector_ == nullptr) || livelocked_) return false;
+  if ((flight_.empty() && injector_ == nullptr) || livelocked_) return false;
 
   assignments_.clear();
-  arrivals_.clear();
+  step_arrivals_.clear();
   build_occupancy();
   if (injector_ != nullptr) {
     injecting_now_ = true;
     injector_->inject(*this, now_);
     injecting_now_ = false;
   }
-  // Process nodes in a fixed order so runs are reproducible regardless of
-  // packet table order.
-  std::sort(occupied_.begin(), occupied_.end());
 
-  for (net::NodeId node : occupied_) {
-    route_node(node, occupancy_[static_cast<std::size_t>(node)]);
-  }
-
-  // Apply the movement.
-  for (const Assignment& a : assignments_) {
-    Packet& p = packets_[static_cast<std::size_t>(a.pkt)];
-    p.pos = net_.neighbor(a.node, a.out);
-    HP_CHECK(p.pos != net::kInvalidNode, "movement off the network");
-    p.last_move_dir = a.out;
-    p.prev_advanced = a.advances;
-    p.prev_num_good = a.num_good;
-    if (a.advances) {
-      ++total_advances_;
-    } else {
-      ++p.deflections;
-      ++total_deflections_;
-    }
-    if (p.pos == p.dst) {
-      p.arrived_at = now_ + 1;
-      last_arrival_ = now_ + 1;
-      --in_flight_;
-      ++delivered_;
-      arrivals_.push_back(p.id);
-    }
-  }
+  route_all();
+  apply_assignments();
 
   ++now_;
 
   StepRecord record;
   record.step = now_ - 1;
   record.assignments = assignments_;
-  record.arrivals = arrivals_;
+  record.arrivals = step_arrivals_;
+  record.in_flight_after = flight_.size();
   for (StepObserver* obs : observers_) {
     obs->on_step(*this, record);
   }
 
   if (config_.detect_livelock && policy_.deterministic() &&
-      injector_ == nullptr && in_flight_ > 0) {
-    const auto repeat = livelock_.record(digest_state(packets_), now_);
+      injector_ == nullptr && !flight_.empty()) {
+    const auto repeat = livelock_.record(digest_state(flight_), now_);
     if (repeat != LivelockDetector::kNoRepeat) livelocked_ = true;
   }
   return true;
 }
 
-RunResult Engine::run() {
-  HP_REQUIRE(injector_ == nullptr,
-             "run() is for batch problems; use run_for() with an injector");
-  while (in_flight_ > 0 && !livelocked_ && now_ < config_.max_steps) {
-    step();
-  }
+RunResult Engine::make_result() {
   RunResult result;
-  result.completed = (in_flight_ == 0);
+  result.completed = flight_.empty();
   result.livelocked = livelocked_;
   result.steps = result.completed ? last_arrival_ : now_;
   result.steps_executed = now_;
   result.total_deflections = total_deflections_;
   result.total_advances = total_advances_;
-  result.num_packets = packets_.size();
-  result.packets = packets_;
+  result.num_packets = num_packets();
+  if (config_.archive_arrivals) result.packets = snapshot_packets();
   return result;
+}
+
+RunResult Engine::run() {
+  HP_REQUIRE(injector_ == nullptr,
+             "run() is for batch problems; use run_for() with an injector");
+  while (!flight_.empty() && !livelocked_ && now_ < config_.max_steps) {
+    step();
+  }
+  return make_result();
 }
 
 RunResult Engine::run_for(std::uint64_t steps) {
   for (std::uint64_t i = 0; i < steps; ++i) {
     if (!step()) break;
   }
-  RunResult result;
-  result.completed = (in_flight_ == 0);
-  result.livelocked = livelocked_;
-  result.steps = last_arrival_;
-  result.steps_executed = now_;
-  result.total_deflections = total_deflections_;
-  result.total_advances = total_advances_;
-  result.num_packets = packets_.size();
-  result.packets = packets_;
-  return result;
+  return make_result();
 }
 
 }  // namespace hp::sim

@@ -8,18 +8,39 @@
 //   * every in-flight packet moves every step (no buffering),
 //   * packets are absorbed exactly when they reach their destination.
 // Violations throw hp::CheckError.
+//
+// Architecture (the "flight table" core):
+//   * In-flight packets live in a dense struct-of-arrays FlightTable;
+//     delivered packets move to an append-only ArrivalLog archive. Every
+//     per-step loop walks the flight table only, so step cost is
+//     O(in-flight) — independent of how many packets have ever existed,
+//     which is what continuous-injection (steady-state) runs require.
+//   * Routing decisions at distinct nodes within a step are independent:
+//     each node draws from its own per-(seed, step, node) random stream
+//     and sees its residents in ascending packet-id order. The engine can
+//     therefore shard the occupied-node list across worker threads
+//     (EngineConfig::num_threads); per-shard assignment buffers are
+//     concatenated in shard order and applied serially, so every run is
+//     bit-for-bit identical for any thread count, including 1.
+//   * Observers receive per-step spans (see observer.hpp): no per-step
+//     copies, no references to the delivered-packet archive.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
+#include "sim/flight_table.hpp"
 #include "sim/injection.hpp"
 #include "sim/livelock.hpp"
 #include "sim/observer.hpp"
 #include "sim/packet.hpp"
 #include "sim/policy.hpp"
 #include "topology/network.hpp"
+#include "util/inline_vector.hpp"
 #include "util/rng.hpp"
 #include "workload/workload.hpp"
 
@@ -28,25 +49,38 @@ namespace hp::sim {
 struct EngineConfig {
   /// Hard step cap for run(); exceeded ⇒ result.completed = false.
   std::uint64_t max_steps = 10'000'000;
-  /// Seed for the policy's random stream.
+  /// Seed of the per-(step, node) random streams handed to the policy.
   std::uint64_t seed = 1;
   /// Detect repeated configurations. Only treated as a livelock *proof*
   /// when the policy reports deterministic().
   bool detect_livelock = true;
+  /// Worker threads for the routing phase. 1 = fully serial. Results are
+  /// bit-for-bit identical for every value; threads only buy wall-clock.
+  /// Requires RoutingPolicy::route() to be safe to call concurrently for
+  /// distinct nodes (true for every stateless policy in this repo).
+  int num_threads = 1;
+  /// Keep full per-packet records of delivered packets (RunResult.packets,
+  /// Engine::archive()). Turn off for unbounded steady-state runs, where
+  /// the archive would grow without limit; observers still see every
+  /// arrival record via StepRecord::arrivals.
+  bool archive_arrivals = true;
 };
 
 /// Outcome of a complete run.
 struct RunResult {
   bool completed = false;   ///< all packets delivered
   bool livelocked = false;  ///< proven configuration cycle (deterministic)
-  /// Number of steps until the last packet reached its destination
-  /// (valid when completed; equals steps_executed otherwise).
+  /// Step count of the run: the step by which the last packet arrived when
+  /// `completed`, otherwise the number of steps executed. 0 when nothing
+  /// was ever delivered.
   std::uint64_t steps = 0;
   std::uint64_t steps_executed = 0;
   std::uint64_t total_deflections = 0;
   std::uint64_t total_advances = 0;
   std::size_t num_packets = 0;
-  /// Final per-packet records (arrival times, deflection counts, ...).
+  /// Final per-packet records in id order, materialized once from the
+  /// archive + flight table (no per-run O(k) copies of live engine state).
+  /// Empty when EngineConfig::archive_arrivals is false.
   std::vector<Packet> packets;
 };
 
@@ -56,6 +90,10 @@ class Engine {
   /// `net` and `policy` must outlive the engine.
   Engine(const net::Network& net, const workload::Problem& problem,
          RoutingPolicy& policy, EngineConfig config = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   /// Executes one synchronous step. Returns false (and does nothing) when
   /// no packets remain in flight and no injector is installed.
@@ -66,7 +104,9 @@ class Engine {
 
   /// Runs exactly `steps` synchronous steps — the entry point for
   /// continuous-injection (steady-state) experiments, where "completion"
-  /// never happens by design.
+  /// never happens by design. RunResult::steps follows the documented
+  /// rule: last arrival step when the run drained, steps executed
+  /// otherwise.
   RunResult run_for(std::uint64_t steps);
 
   /// Installs a continuous-injection source, invoked at the start of every
@@ -89,31 +129,73 @@ class Engine {
   void add_observer(StepObserver* observer);
 
   const net::Network& network() const { return net_; }
-  const std::vector<Packet>& packets() const { return packets_; }
-  const Packet& packet(PacketId id) const {
-    return packets_[static_cast<std::size_t>(id)];
-  }
+
+  /// Dense store of the in-flight packets (slot order is unspecified and
+  /// changes as packets arrive).
+  const FlightTable& flight() const { return flight_; }
+
+  /// Records of delivered packets, in arrival order. Empty when
+  /// EngineConfig::archive_arrivals is false.
+  std::span<const Packet> archive() const { return archive_.records(); }
+
+  /// Total packets ever created (batch + injected, including trivial).
+  std::size_t num_packets() const { return static_cast<std::size_t>(next_id_); }
+
+  /// Record of one packet by id: in flight, arrived this step, or
+  /// archived. Throws CheckError for ids whose record was dropped
+  /// (archive_arrivals == false and not delivered this step).
+  Packet packet(PacketId id) const;
+
+  /// Destination of packet `id` without materializing the whole record.
+  net::NodeId packet_dst(PacketId id) const;
+
+  /// Full per-packet snapshot in id order (archive + in-flight). Requires
+  /// archive_arrivals; O(num_packets), intended for end-of-run digestion.
+  std::vector<Packet> snapshot_packets() const;
+
   std::uint64_t now() const { return now_; }
-  std::size_t in_flight() const { return in_flight_; }
+  std::size_t in_flight() const { return flight_.size(); }
   bool livelocked() const { return livelocked_; }
   /// Step at which the last arrival so far happened (0 if none yet).
   std::uint64_t last_arrival_step() const { return last_arrival_; }
 
-  /// Ids of the packets currently at `node` (order unspecified).
+  /// Ids of the packets currently at `node`, ascending.
   std::vector<PacketId> packets_at(net::NodeId node) const;
 
  private:
+  /// Residents of one node in one step; bounded by the node degree.
+  using Bucket = InlineVector<PacketId, 2 * net::kMaxDim>;
+
   void inject(const workload::Problem& problem);
   void build_occupancy();
-  void route_node(net::NodeId node, const std::vector<PacketId>& residents);
+  void route_all();
+  void route_range(std::size_t begin, std::size_t end,
+                   std::vector<Assignment>& out);
+  void route_node(net::NodeId node, const Bucket& residents,
+                  std::vector<Assignment>& out);
+  void apply_assignments();
+  RunResult make_result();
+
+  // Worker-pool plumbing (only spun up when config_.num_threads > 1).
+  void start_pool();
+  void stop_pool();
+  void worker_loop(std::size_t worker_index);
 
   const net::Network& net_;
   RoutingPolicy& policy_;
   EngineConfig config_;
-  Rng rng_;
 
-  std::vector<Packet> packets_;
-  std::size_t in_flight_ = 0;
+  // Per-node topology caches, built once in the constructor (the network
+  // is immutable): they keep virtual neighbor()/arc_exists() calls out of
+  // the per-step loops.
+  int num_dirs_ = 0;
+  std::vector<int> degree_;
+  std::vector<net::DirList> avail_dirs_;
+  std::vector<net::NodeId> neighbor_table_;  // [node * num_dirs_ + dir]
+
+  FlightTable flight_;
+  ArrivalLog archive_;
+  std::uint64_t next_id_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t now_ = 0;
   Injector* injector_ = nullptr;
@@ -124,12 +206,28 @@ class Engine {
   bool livelocked_ = false;
 
   // Per-step scratch, kept as members to avoid reallocation.
-  std::vector<std::vector<PacketId>> occupancy_;  // node -> resident packets
-  std::vector<net::NodeId> occupied_;             // nodes with residents
-  std::vector<std::uint64_t> node_stamp_;         // occupancy freshness
+  std::vector<Bucket> occupancy_;      // node -> resident packets, id order
+  std::vector<net::NodeId> occupied_;  // nodes with residents
+  std::vector<std::uint64_t> node_stamp_;  // occupancy freshness
   std::vector<Assignment> assignments_;
-  std::vector<PacketId> arrivals_;
-  std::vector<std::uint8_t> arc_used_;  // node * num_dirs + dir -> used?
+  std::vector<Packet> step_arrivals_;  // this step's arrival records
+
+  // Routing-phase shards. shard_bufs_[w] is written by worker w only.
+  struct ShardRange {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  std::vector<ShardRange> shard_ranges_;
+  std::vector<std::vector<Assignment>> shard_bufs_;
+  std::vector<std::exception_ptr> shard_errors_;
+  std::vector<std::thread> workers_;
+  std::mutex pool_mu_;
+  std::condition_variable pool_cv_;   // workers wait for a new epoch
+  std::condition_variable done_cv_;   // main waits for pending == 0
+  std::uint64_t pool_epoch_ = 0;
+  std::size_t pool_pending_ = 0;
+  std::size_t pool_active_shards_ = 0;
+  bool pool_stop_ = false;
 
   LivelockDetector livelock_;
   std::vector<StepObserver*> observers_;

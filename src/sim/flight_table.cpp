@@ -1,0 +1,115 @@
+#include "sim/flight_table.hpp"
+
+#include "util/check.hpp"
+
+namespace hp::sim {
+
+void FlightTable::push_locator(PacketId id, Slot slot) {
+  const auto i = static_cast<std::uint64_t>(static_cast<std::uint32_t>(id));
+  HP_CHECK(i == id_base_ + locator_.size(),
+           "FlightTable ids must be issued densely and in order");
+  locator_.push_back(slot);
+}
+
+Packet FlightTable::materialize(Slot s) const {
+  const auto i = idx(s);
+  Packet p;
+  p.id = ids_[i];
+  p.src = src_[i];
+  p.dst = dst_[i];
+  p.pos = pos_[i];
+  p.last_move_dir = entry_dir_[i];
+  p.prev_advanced = prev_advanced_[i] != 0;
+  p.prev_num_good = prev_num_good_[i];
+  p.injected_at = injected_at_[i];
+  p.arrived_at = kNotArrived;
+  p.deflections = deflections_[i];
+  p.initial_distance = initial_distance_[i];
+  return p;
+}
+
+FlightTable::Slot FlightTable::insert(const Packet& p) {
+  const auto slot = static_cast<Slot>(ids_.size());
+  ids_.push_back(p.id);
+  src_.push_back(p.src);
+  dst_.push_back(p.dst);
+  pos_.push_back(p.pos);
+  entry_dir_.push_back(p.last_move_dir);
+  prev_advanced_.push_back(p.prev_advanced ? 1 : 0);
+  prev_num_good_.push_back(static_cast<std::int8_t>(p.prev_num_good));
+  injected_at_.push_back(p.injected_at);
+  deflections_.push_back(p.deflections);
+  initial_distance_.push_back(p.initial_distance);
+  push_locator(p.id, slot);
+  return slot;
+}
+
+void FlightTable::note_absent(PacketId id) { push_locator(id, kNoSlot); }
+
+Packet FlightTable::remove(Slot s, std::uint64_t arrived_at) {
+  Packet record = materialize(s);
+  record.arrived_at = arrived_at;
+
+  const auto i = idx(s);
+  const auto last = ids_.size() - 1;
+  const auto gone =
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(record.id));
+  locator_[static_cast<std::size_t>(gone - id_base_)] = kNoSlot;
+  if (i != last) {
+    ids_[i] = ids_[last];
+    src_[i] = src_[last];
+    dst_[i] = dst_[last];
+    pos_[i] = pos_[last];
+    entry_dir_[i] = entry_dir_[last];
+    prev_advanced_[i] = prev_advanced_[last];
+    prev_num_good_[i] = prev_num_good_[last];
+    injected_at_[i] = injected_at_[last];
+    deflections_[i] = deflections_[last];
+    initial_distance_[i] = initial_distance_[last];
+    const auto moved =
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(ids_[i]));
+    locator_[static_cast<std::size_t>(moved - id_base_)] =
+        static_cast<Slot>(i);
+  }
+  ids_.pop_back();
+  src_.pop_back();
+  dst_.pop_back();
+  pos_.pop_back();
+  entry_dir_.pop_back();
+  prev_advanced_.pop_back();
+  prev_num_good_.pop_back();
+  injected_at_.pop_back();
+  deflections_.pop_back();
+  initial_distance_.pop_back();
+
+  reclaim_locator_prefix();
+  return record;
+}
+
+void FlightTable::reclaim_locator_prefix() {
+  // Advance past settled ids; amortized O(1) per packet over a run.
+  while (head_ < locator_.size() && locator_[head_] == kNoSlot) ++head_;
+  if (head_ >= 1024 && head_ * 2 >= locator_.size()) {
+    locator_.erase(locator_.begin(),
+                   locator_.begin() + static_cast<std::ptrdiff_t>(head_));
+    id_base_ += head_;
+    head_ = 0;
+  }
+}
+
+void ArrivalLog::append(const Packet& p) {
+  ++count_;
+  if (!keep_) return;
+  const auto i = static_cast<std::size_t>(static_cast<std::uint32_t>(p.id));
+  if (index_by_id_.size() <= i) index_by_id_.resize(i + 1, -1);
+  index_by_id_[i] = static_cast<std::int64_t>(records_.size());
+  records_.push_back(p);
+}
+
+const Packet* ArrivalLog::find(PacketId id) const {
+  const auto i = static_cast<std::size_t>(static_cast<std::uint32_t>(id));
+  if (i >= index_by_id_.size() || index_by_id_[i] < 0) return nullptr;
+  return &records_[static_cast<std::size_t>(index_by_id_[i])];
+}
+
+}  // namespace hp::sim

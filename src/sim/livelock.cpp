@@ -6,31 +6,53 @@ namespace hp::sim {
 
 namespace {
 
-void mix(std::uint64_t& chain, std::uint64_t value) {
-  std::uint64_t s = chain ^ (value * 0x9ddfea08eb382d69ULL);
-  chain = splitmix64(s);
+/// Strong 128-bit hash of one packet's routing state. The two words are
+/// independent splitmix64 chains over an injective two-word encoding of
+/// (id, position, entry arc, history bits).
+StateDigest hash_packet_state(PacketId id, net::NodeId pos, net::Dir dir,
+                              bool prev_advanced, int prev_num_good) {
+  const std::uint64_t w1 =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(id)) << 32) |
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(pos));
+  const std::uint64_t w2 =
+      (static_cast<std::uint64_t>(static_cast<std::uint8_t>(dir)) << 16) |
+      (static_cast<std::uint64_t>(prev_advanced) << 8) |
+      static_cast<std::uint64_t>(static_cast<std::uint8_t>(prev_num_good + 1));
+
+  std::uint64_t lo = 0x243f6a8885a308d3ULL ^ (w1 * 0x9ddfea08eb382d69ULL);
+  lo = splitmix64(lo);
+  lo ^= w2 * 0x9ddfea08eb382d69ULL;
+  lo = splitmix64(lo);
+
+  std::uint64_t hi = 0x13198a2e03707344ULL ^ (~w1 * 0x9ddfea08eb382d69ULL);
+  hi = splitmix64(hi);
+  hi ^= ~w2 * 0x9ddfea08eb382d69ULL;
+  hi = splitmix64(hi);
+  return {lo, hi};
 }
 
 }  // namespace
 
+StateDigest digest_state(const FlightTable& flight) {
+  StateDigest d{0, 0};
+  for (FlightTable::Slot s = 0; s < flight.end_slot(); ++s) {
+    const StateDigest h =
+        hash_packet_state(flight.id(s), flight.pos(s), flight.entry_dir(s),
+                          flight.prev_advanced(s), flight.prev_num_good(s));
+    d.lo += h.lo;  // commutative: traversal order must not matter
+    d.hi += h.hi;
+  }
+  return d;
+}
+
 StateDigest digest_state(const std::vector<Packet>& packets) {
-  StateDigest d{0x243f6a8885a308d3ULL, 0x13198a2e03707344ULL};
+  StateDigest d{0, 0};
   for (const Packet& p : packets) {
     if (p.arrived()) continue;
-    // Injective two-word encoding of the per-packet state.
-    const std::uint64_t w1 =
-        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.id)) << 32) |
-        static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.pos));
-    const std::uint64_t w2 =
-        (static_cast<std::uint64_t>(static_cast<std::uint8_t>(p.last_move_dir))
-         << 16) |
-        (static_cast<std::uint64_t>(p.prev_advanced) << 8) |
-        static_cast<std::uint64_t>(
-            static_cast<std::uint8_t>(p.prev_num_good + 1));
-    mix(d.lo, w1);
-    mix(d.lo, w2);
-    mix(d.hi, ~w1);
-    mix(d.hi, ~w2);
+    const StateDigest h = hash_packet_state(p.id, p.pos, p.last_move_dir,
+                                            p.prev_advanced, p.prev_num_good);
+    d.lo += h.lo;
+    d.hi += h.hi;
   }
   return d;
 }

@@ -5,18 +5,25 @@
 // deterministic policy the next state is a function of the current state,
 // so a repeated state proves an infinite loop (livelock) — the situation
 // Section 1.2 warns about for unrestricted greedy routing.
+//
+// The digest is a commutative combination of strong per-packet hashes, so
+// it is independent of the order in which the in-flight set is traversed —
+// the flight table's slot order changes as packets arrive (swap-remove),
+// and the digest must not.
 #pragma once
 
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
+#include "sim/flight_table.hpp"
 #include "sim/packet.hpp"
 
 namespace hp::sim {
 
-/// 128-bit configuration fingerprint (two independent splitmix64 chains);
-/// the collision probability over any realistic run length is negligible.
+/// 128-bit configuration fingerprint: a sum of independent 128-bit
+/// per-packet hashes. The collision probability over any realistic run
+/// length is negligible.
 struct StateDigest {
   std::uint64_t lo = 0;
   std::uint64_t hi = 0;
@@ -24,7 +31,11 @@ struct StateDigest {
 };
 
 /// Computes the digest of the current configuration: every in-flight
-/// packet's (id, position, last move, history bits), in id order.
+/// packet's (id, position, last move, history bits). Order-independent.
+StateDigest digest_state(const FlightTable& flight);
+
+/// Same digest computed from explicit packet records (arrived packets are
+/// ignored). Used by tests and tools that hold plain Packet vectors.
 StateDigest digest_state(const std::vector<Packet>& packets);
 
 /// Remembers digests of visited configurations and reports repeats.

@@ -3,6 +3,15 @@
 // The potential-function machinery of Sections 3–4 is implemented as
 // observers that audit every step of a real execution — Property 8 at every
 // node, the Lemma 12 two-step drop, greediness per Definition 6, and so on.
+//
+// The interface is a *streaming* one: the engine hands each observer, once
+// per step, spans into its own per-step buffers — the routing decisions
+// grouped by node and the full records of the packets delivered by this
+// step's movement. Nothing is copied per step and nothing references the
+// ever-growing set of delivered packets, so observers compose with
+// continuous-injection runs of unbounded length. Spans are valid only for
+// the duration of the on_step call; observers that need history must copy
+// what they keep.
 #pragma once
 
 #include <cstdint>
@@ -31,16 +40,20 @@ struct Assignment {
   int prev_num_good = -1;
 };
 
-/// Everything that happened in one engine step.
+/// Everything that happened in one engine step, streamed by reference.
 struct StepRecord {
   /// Time at the beginning of the step; movement happens between `step`
   /// and `step + 1`.
   std::uint64_t step = 0;
   /// All routing decisions, grouped contiguously by node.
   std::span<const Assignment> assignments;
-  /// Packets that reached their destination by this movement (they are
-  /// absorbed and do not appear in later steps).
-  std::span<const PacketId> arrivals;
+  /// Final records of the packets that reached their destination by this
+  /// movement (arrived_at == step + 1). They are absorbed and do not
+  /// appear in later steps; this span is the last time the engine offers
+  /// their full record on the hot path.
+  std::span<const Packet> arrivals;
+  /// Packets still in flight after the movement was applied.
+  std::size_t in_flight_after = 0;
 };
 
 class StepObserver {
@@ -48,8 +61,8 @@ class StepObserver {
   virtual ~StepObserver() = default;
 
   /// Called once per step, after movement has been applied. The engine's
-  /// packet table reflects post-move state; pre-move positions are in the
-  /// record's assignments.
+  /// flight table reflects post-move state; pre-move positions are in the
+  /// record's assignments. The record's spans die with this call.
   virtual void on_step(const Engine& engine, const StepRecord& record) = 0;
 };
 

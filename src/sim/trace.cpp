@@ -1,5 +1,6 @@
 #include "sim/trace.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "sim/engine.hpp"
@@ -10,9 +11,13 @@ namespace hp::sim {
 void TraceRecorder::on_step(const Engine& engine, const StepRecord& record) {
   Snapshot snap;
   snap.step = record.step + 1;  // positions are post-move
-  for (const Packet& p : engine.packets()) {
-    if (!p.arrived()) snap.positions.emplace_back(p.id, p.pos);
+  const FlightTable& flight = engine.flight();
+  snap.positions.reserve(flight.size());
+  for (FlightTable::Slot s = 0; s < flight.end_slot(); ++s) {
+    snap.positions.emplace_back(flight.id(s), flight.pos(s));
   }
+  // Slot order varies with arrivals; id order keeps snapshots stable.
+  std::sort(snap.positions.begin(), snap.positions.end());
   snapshots_.push_back(std::move(snap));
 }
 

@@ -16,8 +16,8 @@ void RunRecorder::on_step(const sim::Engine& engine,
     } else {
       ++row.deflected;
     }
-    const sim::Packet& p = engine.packet(a.pkt);
-    row.total_distance += engine.network().distance(a.node, p.dst);
+    row.total_distance +=
+        engine.network().distance(a.node, engine.packet_dst(a.pkt));
   }
   rows_.push_back(row);
 }

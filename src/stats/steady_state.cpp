@@ -9,21 +9,40 @@ namespace hp::stats {
 
 namespace {
 
-/// Tracks the number of in-flight packets each step within a window.
-class InFlightProbe : public sim::StepObserver {
+/// Streams the measurement window's statistics off the step records: the
+/// in-flight population, and per-arrival latency/deflections as packets are
+/// delivered. Nothing is retained per packet, so measurement windows of any
+/// length run in O(in-flight) memory (the engine's arrival archive is off).
+class WindowProbe : public sim::StepObserver {
  public:
-  explicit InFlightProbe(std::uint64_t from_step) : from_(from_step) {}
+  explicit WindowProbe(std::uint64_t warmup) : warmup_(warmup) {}
+
   void on_step(const sim::Engine& /*engine*/,
                const sim::StepRecord& record) override {
-    if (record.step >= from_) {
-      in_flight_.add(static_cast<double>(record.assignments.size()));
+    if (record.step < warmup_) return;
+    in_flight_.add(static_cast<double>(record.assignments.size()));
+    for (const sim::Packet& p : record.arrivals) {
+      // record.arrivals carries arrived_at == record.step + 1 > warmup_:
+      // exactly the arrivals inside the measurement window.
+      ++delivered_;
+      deflections_ += p.deflections;
+      if (p.injected_at >= warmup_) {
+        latency_.add(static_cast<double>(p.arrived_at - p.injected_at));
+      }
     }
   }
-  const RunningStat& stat() const { return in_flight_; }
+
+  const RunningStat& in_flight() const { return in_flight_; }
+  const Samples& latency() const { return latency_; }
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t deflections() const { return deflections_; }
 
  private:
-  std::uint64_t from_;
+  std::uint64_t warmup_;
   RunningStat in_flight_;
+  Samples latency_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t deflections_ = 0;
 };
 
 }  // namespace
@@ -40,10 +59,11 @@ SteadyStateReport measure_steady_state(const net::Network& network,
   sim::EngineConfig config;
   config.seed = seed;
   config.detect_livelock = false;
+  config.archive_arrivals = false;  // unbounded run: O(in-flight) memory
   sim::Engine engine(network, empty, policy, config);
   sim::BernoulliInjector injector(rate, seed ^ 0x5bd1e995u);
   engine.set_injector(&injector);
-  InFlightProbe probe(warmup);
+  WindowProbe probe(warmup);
   engine.add_observer(&probe);
 
   engine.run_for(warmup + measure);
@@ -56,32 +76,20 @@ SteadyStateReport measure_steady_state(const net::Network& network,
           : static_cast<double>(injector.admitted()) /
                 static_cast<double>(injector.offered());
 
-  Samples latency;
-  std::uint64_t deflections = 0;
-  std::uint64_t delivered_in_window = 0;
-  for (const sim::Packet& p : engine.packets()) {
-    if (!p.arrived()) continue;
-    if (p.arrived_at <= warmup) continue;
-    ++delivered_in_window;
-    deflections += p.deflections;
-    if (p.injected_at >= warmup) {
-      latency.add(static_cast<double>(p.arrived_at - p.injected_at));
-    }
-  }
-  report.delivered_measured = delivered_in_window;
-  report.throughput = static_cast<double>(delivered_in_window) /
+  report.delivered_measured = probe.delivered();
+  report.throughput = static_cast<double>(probe.delivered()) /
                       static_cast<double>(measure) /
                       static_cast<double>(network.num_nodes());
-  if (!latency.empty()) {
-    report.mean_latency = latency.mean();
-    report.p99_latency = latency.percentile(0.99);
+  if (!probe.latency().empty()) {
+    report.mean_latency = probe.latency().mean();
+    report.p99_latency = probe.latency().percentile(0.99);
   }
-  report.mean_in_flight = probe.stat().mean();
+  report.mean_in_flight = probe.in_flight().mean();
   report.deflections_per_delivered =
-      delivered_in_window == 0
+      probe.delivered() == 0
           ? 0.0
-          : static_cast<double>(deflections) /
-                static_cast<double>(delivered_in_window);
+          : static_cast<double>(probe.deflections()) /
+                static_cast<double>(probe.delivered());
   return report;
 }
 

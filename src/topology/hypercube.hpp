@@ -25,6 +25,13 @@ class Hypercube : public Network {
   int diameter() const override { return dim_; }
   std::string name() const override;
 
+  /// Good directions are exactly the differing address bits.
+  DirList good_dirs(NodeId at, NodeId dst) const override;
+  int num_good_dirs(NodeId at, NodeId dst) const override {
+    return distance(at, dst);
+  }
+  bool is_good_dir(NodeId at, NodeId dst, Dir dir) const override;
+
   int dim() const { return dim_; }
 
  private:

@@ -73,6 +73,61 @@ int Mesh::distance(NodeId a, NodeId b) const {
   return total;
 }
 
+DirList Mesh::good_dirs(NodeId at, NodeId dst) const {
+  DirList out;
+  std::int64_t va = at;
+  std::int64_t vb = dst;
+  for (int axis = 0; axis < dim_; ++axis) {
+    const int ca = static_cast<int>(va % side_);
+    const int cb = static_cast<int>(vb % side_);
+    va /= side_;
+    vb /= side_;
+    if (ca == cb) continue;
+    if (!wrap_) {
+      // Moving toward dst along this axis never leaves the mesh.
+      out.push_back(dir_of(axis, cb > ca ? +1 : -1));
+    } else {
+      const int fwd = cb > ca ? cb - ca : cb - ca + side_;
+      const int bwd = side_ - fwd;
+      // Antipodal coordinates (fwd == bwd) are closer both ways.
+      if (fwd <= bwd) out.push_back(static_cast<Dir>(2 * axis));
+      if (bwd <= fwd) out.push_back(static_cast<Dir>(2 * axis + 1));
+    }
+  }
+  return out;
+}
+
+int Mesh::num_good_dirs(NodeId at, NodeId dst) const {
+  int count = 0;
+  std::int64_t va = at;
+  std::int64_t vb = dst;
+  for (int axis = 0; axis < dim_; ++axis) {
+    const int ca = static_cast<int>(va % side_);
+    const int cb = static_cast<int>(vb % side_);
+    va /= side_;
+    vb /= side_;
+    if (ca == cb) continue;
+    if (!wrap_) {
+      ++count;
+    } else {
+      count += (2 * (cb > ca ? cb - ca : cb - ca + side_) == side_) ? 2 : 1;
+    }
+  }
+  return count;
+}
+
+bool Mesh::is_good_dir(NodeId at, NodeId dst, Dir dir) const {
+  HP_REQUIRE(dir >= 0 && dir < num_dirs(), "direction out of range");
+  const int axis = axis_of(dir);
+  const int ca = coord(at, axis);
+  const int cb = coord(dst, axis);
+  if (ca == cb) return false;
+  if (!wrap_) return sign_of(dir) == (cb > ca ? +1 : -1);
+  const int fwd = cb > ca ? cb - ca : cb - ca + side_;
+  const int bwd = side_ - fwd;
+  return sign_of(dir) > 0 ? fwd <= bwd : bwd <= fwd;
+}
+
 int Mesh::diameter() const {
   const int per_axis = wrap_ ? side_ / 2 : side_ - 1;
   return dim_ * per_axis;

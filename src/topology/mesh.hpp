@@ -31,6 +31,13 @@ class Mesh : public Network {
   int diameter() const override;
   std::string name() const override;
 
+  // Closed-form goodness tests: one coordinate decode instead of the base
+  // class's per-direction neighbor() + distance() probes. Must agree with
+  // the base implementation bit-for-bit (same directions, same order).
+  DirList good_dirs(NodeId at, NodeId dst) const override;
+  int num_good_dirs(NodeId at, NodeId dst) const override;
+  bool is_good_dir(NodeId at, NodeId dst, Dir dir) const override;
+
   int dim() const { return dim_; }
   int side() const { return side_; }
   bool wraps() const { return wrap_; }

@@ -50,14 +50,17 @@ class Network {
 
   /// Good directions for a packet located at `at` with destination `dst`
   /// (Definition 5): directions whose arc enters a node strictly closer to
-  /// `dst`. Empty iff at == dst.
-  DirList good_dirs(NodeId at, NodeId dst) const;
+  /// `dst`, in ascending direction order. Empty iff at == dst. The base
+  /// implementation probes every direction with neighbor() + distance();
+  /// topologies override it with closed-form versions — this is the
+  /// hottest call in the routing phase (once per packet per step).
+  virtual DirList good_dirs(NodeId at, NodeId dst) const;
 
   /// Number of good directions, without materializing the list.
-  int num_good_dirs(NodeId at, NodeId dst) const;
+  virtual int num_good_dirs(NodeId at, NodeId dst) const;
 
   /// True if direction `dir` is good for a packet at `at` headed to `dst`.
-  bool is_good_dir(NodeId at, NodeId dst, Dir dir) const;
+  virtual bool is_good_dir(NodeId at, NodeId dst, Dir dir) const;
 
   /// Total number of directed arcs in the network.
   std::size_t num_arcs() const;

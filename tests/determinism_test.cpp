@@ -1,0 +1,204 @@
+// Bit-for-bit determinism regression for the flight-table engine.
+//
+// The golden table below was captured from the pre-refactor engine (the
+// per-step-rescan implementation) on the same corpus: any drift in steps,
+// total deflections, or the FNV-1a hash of per-packet arrival times means
+// the refactor changed observable behaviour. The same corpus must also be
+// invariant under EngineConfig::num_threads — sharded routing is required
+// to be indistinguishable from serial routing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "routing/ddim_priority.hpp"
+#include "routing/greedy_variants.hpp"
+#include "routing/restricted_priority.hpp"
+#include "sim/engine.hpp"
+#include "sim/injection.hpp"
+#include "sim/livelock.hpp"
+#include "topology/mesh.hpp"
+#include "workload/generators.hpp"
+
+namespace hp {
+namespace {
+
+std::unique_ptr<sim::RoutingPolicy> make_policy(int kind) {
+  using RP = routing::RestrictedPriorityPolicy;
+  switch (kind) {
+    case 0:
+      return std::make_unique<RP>();
+    case 1: {
+      RP::Params params;
+      params.tie_break = RP::TieBreak::kTypeAFirst;
+      return std::make_unique<RP>(params);
+    }
+    case 2: {
+      RP::Params params;
+      params.maximize_advancing = true;
+      return std::make_unique<RP>(params);
+    }
+    case 3:
+      return std::make_unique<routing::DdimPriorityPolicy>();
+    case 4:
+      return std::make_unique<routing::FurthestFirstPolicy>();
+    default:
+      return std::make_unique<routing::ClosestFirstPolicy>();
+  }
+}
+
+workload::Problem make_workload(const net::Mesh& mesh, int kind) {
+  switch (kind) {
+    case 0: {
+      Rng rng(101);
+      return workload::random_permutation(mesh, rng);
+    }
+    case 1: {
+      Rng rng(202);
+      return workload::random_many_to_many(mesh, 300, rng);
+    }
+    default:
+      return workload::transpose(mesh);
+  }
+}
+
+/// FNV-1a over per-packet arrival times in id order: a full fingerprint of
+/// the run's observable outcome.
+std::uint64_t arrival_hash(const std::vector<sim::Packet>& packets) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const sim::Packet& p : packets) {
+    h ^= p.arrived_at;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+struct GoldenRow {
+  int policy;
+  int workload;
+  std::uint64_t steps;
+  std::uint64_t deflections;
+  std::uint64_t hash;
+};
+
+// Captured from the pre-refactor engine: Mesh(2, 16), seed 42.
+constexpr GoldenRow kGolden[] = {
+    {0, 0, 27u, 31u, 0x6dc57b3dd5683dc3ULL},
+    {0, 1, 26u, 90u, 0x8962c6cab27ffc4eULL},
+    {0, 2, 30u, 0u, 0x910ceafb7bcc3185ULL},
+    {1, 0, 27u, 29u, 0x68c247a0659a23fbULL},
+    {1, 1, 26u, 90u, 0x52fdc9572631d386ULL},
+    {1, 2, 30u, 0u, 0x910ceafb7bcc3185ULL},
+    {2, 0, 27u, 29u, 0x6254d844e4e56a0bULL},
+    {2, 1, 28u, 85u, 0x4c04136730e1affcULL},
+    {2, 2, 30u, 0u, 0x910ceafb7bcc3185ULL},
+    {3, 0, 27u, 29u, 0x6254d844e4e56a0bULL},
+    {3, 1, 28u, 85u, 0x4c04136730e1affcULL},
+    {3, 2, 30u, 0u, 0x910ceafb7bcc3185ULL},
+    {4, 0, 27u, 33u, 0x72d202a2a423a813ULL},
+    {4, 1, 26u, 131u, 0xfbb7fff39e52568cULL},
+    {4, 2, 30u, 0u, 0x910ceafb7bcc3185ULL},
+    {5, 0, 27u, 30u, 0x143bff478ba69a39ULL},
+    {5, 1, 28u, 93u, 0x2730ed9276c09a50ULL},
+    {5, 2, 30u, 0u, 0x910ceafb7bcc3185ULL},
+};
+
+sim::RunResult run_corpus(int policy_kind, int workload_kind,
+                          int num_threads) {
+  net::Mesh mesh(2, 16);
+  auto problem = make_workload(mesh, workload_kind);
+  auto policy = make_policy(policy_kind);
+  sim::EngineConfig config;
+  config.seed = 42;
+  config.num_threads = num_threads;
+  sim::Engine engine(mesh, problem, *policy, config);
+  return engine.run();
+}
+
+class GoldenCorpus : public ::testing::TestWithParam<int> {};
+
+TEST_P(GoldenCorpus, SerialMatchesPreRefactorEngine) {
+  const GoldenRow& row = kGolden[static_cast<std::size_t>(GetParam())];
+  const auto result = run_corpus(row.policy, row.workload, 1);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.steps, row.steps);
+  EXPECT_EQ(result.total_deflections, row.deflections);
+  EXPECT_EQ(arrival_hash(result.packets), row.hash);
+}
+
+TEST_P(GoldenCorpus, ThreadCountIsUnobservable) {
+  const GoldenRow& row = kGolden[static_cast<std::size_t>(GetParam())];
+  for (int threads : {2, 4, 8}) {
+    const auto result = run_corpus(row.policy, row.workload, threads);
+    ASSERT_TRUE(result.completed) << "threads=" << threads;
+    EXPECT_EQ(result.steps, row.steps) << "threads=" << threads;
+    EXPECT_EQ(result.total_deflections, row.deflections)
+        << "threads=" << threads;
+    EXPECT_EQ(arrival_hash(result.packets), row.hash)
+        << "threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRows, GoldenCorpus,
+                         ::testing::Range(0, static_cast<int>(std::size(
+                                                 kGolden))));
+
+TEST(Determinism, RandomPolicyIsThreadCountInvariant) {
+  // Randomized policies draw from per-(seed, step, node) streams, so the
+  // trajectory is a function of the seed alone — not of the thread count.
+  net::Mesh mesh(2, 16);
+  Rng rng(303);
+  auto problem = workload::random_many_to_many(mesh, 400, rng);
+  std::vector<std::uint64_t> hashes;
+  for (int threads : {1, 2, 4, 8}) {
+    routing::GreedyRandomPolicy policy;
+    sim::EngineConfig config;
+    config.seed = 7;
+    config.num_threads = threads;
+    sim::Engine engine(mesh, problem, policy, config);
+    const auto result = engine.run();
+    ASSERT_TRUE(result.completed);
+    hashes.push_back(arrival_hash(result.packets) ^
+                     (result.steps * 0x9e3779b97f4a7c15ULL) ^
+                     result.total_deflections);
+  }
+  for (std::size_t i = 1; i < hashes.size(); ++i) {
+    EXPECT_EQ(hashes[i], hashes[0]);
+  }
+}
+
+TEST(Determinism, InjectedRunsReproduceAcrossThreadCounts) {
+  // Continuous injection: same seed ⇒ same admitted packets, same
+  // trajectory, same mid-flight configuration — for every thread count.
+  net::Mesh mesh(2, 8);
+  workload::Problem empty;
+  struct Outcome {
+    std::uint64_t delivered;
+    std::uint64_t deflections;
+    sim::StateDigest digest;
+  };
+  std::vector<Outcome> outcomes;
+  for (int threads : {1, 2, 4, 8}) {
+    routing::RestrictedPriorityPolicy policy;
+    sim::EngineConfig config;
+    config.seed = 5;
+    config.num_threads = threads;
+    config.archive_arrivals = false;
+    sim::Engine engine(mesh, empty, policy, config);
+    sim::BernoulliInjector injector(0.3, 77);
+    engine.set_injector(&injector);
+    const auto result = engine.run_for(400);
+    outcomes.push_back(Outcome{engine.delivered(), result.total_deflections,
+                               sim::digest_state(engine.flight())});
+  }
+  for (std::size_t i = 1; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].delivered, outcomes[0].delivered);
+    EXPECT_EQ(outcomes[i].deflections, outcomes[0].deflections);
+    EXPECT_EQ(outcomes[i].digest, outcomes[0].digest);
+  }
+  EXPECT_GT(outcomes[0].delivered, 0u);
+}
+
+}  // namespace
+}  // namespace hp

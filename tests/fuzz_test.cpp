@@ -46,15 +46,16 @@ class ConservationCheck : public sim::StepObserver {
   void on_step(const sim::Engine& engine,
                const sim::StepRecord& /*record*/) override {
     std::size_t arrived = 0, flying = 0;
-    for (const sim::Packet& p : engine.packets()) {
+    for (const sim::Packet& p : engine.snapshot_packets()) {
       if (p.arrived()) {
         ++arrived;
       } else {
         ++flying;
       }
     }
-    EXPECT_EQ(arrived + flying, engine.packets().size());
+    EXPECT_EQ(arrived + flying, engine.num_packets());
     EXPECT_EQ(flying, engine.in_flight());
+    EXPECT_EQ(arrived, engine.delivered());
   }
 };
 
