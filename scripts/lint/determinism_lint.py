@@ -1,0 +1,469 @@
+#!/usr/bin/env python3
+"""Repo-specific determinism lint for the hot-potato routing engine.
+
+PR 1's headline guarantee is that routing results are bit-identical for any
+thread count. That property is enforced dynamically by golden-fingerprint
+tests, but a single careless construct — iterating an ``std::unordered_map``,
+ordering by pointer value, drawing from ``std::rand`` — silently breaks it
+until a fingerprint drifts. This tool statically rejects the *class* of code
+that can break determinism, mirroring how the paper proves properties of an
+algorithm class rather than of one run.
+
+Rules (full rationale in docs/STATIC_ANALYSIS.md):
+
+  unordered-member     Declaring std::unordered_map/unordered_set in
+                       routing-reachable code (src/sim, src/routing) requires
+                       an allow annotation stating the order-independence
+                       discipline (e.g. the LivelockDetector's commutative
+                       digest).
+  unordered-iteration  Iterating such a container (range-for, begin()/end())
+                       in routing-reachable code. Iteration order is
+                       unspecified and varies across libstdc++/libc++ and
+                       across runs with pointer-salted hashing.
+  raw-random           std::rand / srand / random_device / mt19937 etc.
+                       anywhere in src/ outside src/util/rng.*. All
+                       randomness must flow through the per-(seed,step,node)
+                       streams so runs are replayable.
+  pointer-order        Ordering or hashing by pointer value in
+                       routing-reachable code: pointer-keyed map/set,
+                       std::hash over a pointer type, casting a pointer to
+                       (u)intptr_t. Allocation addresses differ run to run.
+  static-local         Mutable function-local statics in routing-reachable
+                       code. Hidden cross-run/cross-shard state breaks both
+                       replayability and the sharded-routing proof that node
+                       decisions are pure functions of node-local inputs.
+  span-retention       A StepObserver::on_step override storing the record's
+                       spans (assignments/arrivals) or the record's address.
+                       The spans alias per-step scratch buffers and die with
+                       the call (see sim/observer.hpp).
+
+Allow annotations::
+
+    std::unordered_map<K, V> seen_;  // hp-lint: allow(unordered-member) <why>
+
+  The annotation may sit on the flagged line or the line directly above it.
+  A reason is mandatory; a bare allow is itself a finding.
+
+Engines: by default the lint runs its pure-regex engine (Python stdlib only,
+so it works in a container with no LLVM). When the ``clang.cindex`` bindings
+are importable, ``--engine=clang`` (or ``--engine=auto``) additionally
+confirms unordered-iteration findings against the AST, eliminating regex
+false positives; the regex engine remains the source of truth for the other
+rules.
+
+Exit status: 0 = clean, 1 = findings, 2 = usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import pathlib
+import re
+import sys
+
+RULES = {
+    "unordered-member": (
+        "unordered container in routing-reachable code needs an "
+        "'hp-lint: allow(unordered-member) <reason>' annotation documenting "
+        "its order-independence discipline"
+    ),
+    "unordered-iteration": (
+        "iteration over an unordered container in routing-reachable code; "
+        "iteration order is unspecified and breaks bit-identical results"
+    ),
+    "raw-random": (
+        "raw randomness outside src/util/rng.*; use the engine's "
+        "per-(seed, step, node) streams so runs are replayable"
+    ),
+    "pointer-order": (
+        "ordering/hashing by pointer value; allocation addresses vary "
+        "between runs and break determinism"
+    ),
+    "static-local": (
+        "mutable function-local static in routing-reachable code; hidden "
+        "state breaks replayability and sharded-routing purity"
+    ),
+    "span-retention": (
+        "StepObserver::on_step stores a span/record that dies with the "
+        "call; copy what you keep (see sim/observer.hpp)"
+    ),
+}
+
+ALLOW_RE = re.compile(r"//\s*hp-lint:\s*allow\(([a-z-]+)\)\s*(.*?)\s*(?:\*/)?\s*$")
+
+# Scope predicates, keyed by rule. Paths are POSIX-style and repo-relative.
+ROUTING_SCOPE = ("src/sim/", "src/routing/")
+
+
+def in_routing_scope(relpath: str) -> bool:
+    return relpath.startswith(ROUTING_SCOPE)
+
+
+def in_raw_random_scope(relpath: str) -> bool:
+    return relpath.startswith("src/") and not relpath.startswith("src/util/rng.")
+
+
+@dataclasses.dataclass
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    detail: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.path}:{self.line}: [{self.rule}] {RULES[self.rule]}"
+            + (f" ({self.detail})" if self.detail else "")
+        )
+
+
+def strip_code(text: str) -> list[str]:
+    """Returns per-line code with comments and string/char literals blanked.
+
+    Line structure is preserved so findings keep their line numbers. This is
+    a lexer, not a parser: it only understands //, /* */, "..." (with escapes
+    and the few raw strings the tree uses) and '...'.
+    """
+    out: list[str] = []
+    i, n = 0, len(text)
+    cur: list[str] = []
+    state = "code"  # code | block_comment | line_comment | dq | sq
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            out.append("".join(cur))
+            cur = []
+            if state == "line_comment":
+                state = "code"
+            i += 1
+            continue
+        if state == "code":
+            two = text[i : i + 2]
+            if two == "//":
+                state = "line_comment"
+                i += 2
+            elif two == "/*":
+                state = "block_comment"
+                i += 2
+            elif c == '"':
+                state = "dq"
+                cur.append(c)
+                i += 1
+            elif c == "'":
+                state = "sq"
+                cur.append(c)
+                i += 1
+            else:
+                cur.append(c)
+                i += 1
+        elif state == "block_comment":
+            if text[i : i + 2] == "*/":
+                state = "code"
+                i += 2
+            else:
+                i += 1
+        elif state == "line_comment":
+            i += 1
+        elif state in ("dq", "sq"):
+            quote = '"' if state == "dq" else "'"
+            if c == "\\":
+                i += 2
+            elif c == quote:
+                state = "code"
+                cur.append(c)
+                i += 1
+            else:
+                cur.append(" ")  # blank literal contents, keep width
+                i += 1
+    if cur or (text and not text.endswith("\n")):
+        out.append("".join(cur))
+    return out
+
+
+class FileLinter:
+    """Applies every in-scope rule to one file."""
+
+    def __init__(
+        self,
+        relpath: str,
+        raw_text: str,
+        *,
+        force_all_rules: bool = False,
+    ) -> None:
+        self.relpath = relpath
+        self.raw_lines = raw_text.splitlines()
+        self.code_lines = strip_code(raw_text)
+        self.force = force_all_rules
+        self.findings: list[Finding] = []
+
+    # -- allow annotations ------------------------------------------------
+    def allow_for(self, lineno: int, rule: str) -> bool:
+        """True iff line `lineno` (1-based) carries or inherits a valid
+        allow(rule) annotation: on the flagged line itself, or anywhere in
+        the contiguous comment block directly above it. A reasonless allow
+        is itself reported and suppresses nothing further."""
+        candidates = [lineno]
+        above = lineno - 1
+        while (
+            1 <= above <= len(self.raw_lines)
+            and self.raw_lines[above - 1].lstrip().startswith("//")
+        ):
+            candidates.append(above)
+            above -= 1
+        for candidate in candidates:
+            if 1 <= candidate <= len(self.raw_lines):
+                m = ALLOW_RE.search(self.raw_lines[candidate - 1])
+                if m and m.group(1) == rule:
+                    if not m.group(2):
+                        self.findings.append(
+                            Finding(
+                                self.relpath,
+                                candidate,
+                                rule,
+                                "allow annotation is missing its reason",
+                            )
+                        )
+                        return True  # already reported; don't double-flag
+                    return True
+        return False
+
+    def flag(self, lineno: int, rule: str, detail: str = "") -> None:
+        if not self.allow_for(lineno, rule):
+            self.findings.append(Finding(self.relpath, lineno, rule, detail))
+
+    # -- rules ------------------------------------------------------------
+    UNORDERED_DECL = re.compile(
+        r"\bunordered_(?:map|set|multimap|multiset)\s*<"
+    )
+    UNORDERED_NAME = re.compile(
+        r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>\s*&?\s+"
+        r"(\w+)\s*[;={,)]"
+    )
+    RAW_RANDOM = re.compile(
+        r"\b(?:std::)?(?:s?rand\s*\(|random_device\b|mt19937(?:_64)?\b|"
+        r"default_random_engine\b|minstd_rand0?\b|random_shuffle\b)"
+    )
+    POINTER_KEY = re.compile(
+        r"\b(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?[\w:]+\s*\*"
+    )
+    POINTER_HASH = re.compile(r"\bhash\s*<[^<>]*\*\s*>")
+    POINTER_TO_INT = re.compile(
+        r"(?:reinterpret|static)_cast\s*<\s*(?:std::)?u?intptr_t\s*>"
+    )
+    STATIC_LOCAL = re.compile(
+        r"^\s+static\s+(?!const\b|constexpr\b|consteval\b|constinit\b|"
+        r"assert\b|_assert)"
+    )
+    SPAN_MEMBER = re.compile(
+        r"\bstd::span\s*<[^;]*>\s+\w+_\s*(?:;|=|\{)"
+    )
+    RECORD_RETAIN = re.compile(
+        r"\w+_\s*=\s*record\s*;"  # member copy of the whole record
+        r"|=\s*&\s*record\b"  # storing its address
+        r"|\bStepRecord\s*\*\s*\w+_\s*(?:;|=)"  # record-pointer member
+        r"|\bconst\s+StepRecord\s*&\s*\w+_\s*;"  # record-reference member
+    )
+    RECORD_SPAN_RETAIN = re.compile(
+        r"\w+_\s*=\s*record\s*\.\s*(?:assignments|arrivals)\b"
+    )
+
+    def lint(self) -> list[Finding]:
+        routing = self.force or in_routing_scope(self.relpath)
+        raw_random = self.force or in_raw_random_scope(self.relpath)
+        has_on_step = any("on_step" in line for line in self.code_lines)
+
+        unordered_names: set[str] = set()
+        if routing:
+            for line in self.code_lines:
+                m = self.UNORDERED_NAME.search(line)
+                if m:
+                    unordered_names.add(m.group(1))
+        unordered_iter = (
+            re.compile(
+                r"for\s*\([^;()]*:\s*(?:this->)?(?:"
+                + "|".join(map(re.escape, sorted(unordered_names)))
+                + r")\b"
+                r"|\b(?:"
+                + "|".join(map(re.escape, sorted(unordered_names)))
+                + r")\s*\.\s*c?(?:begin|end|rbegin|rend)\s*\("
+            )
+            if unordered_names
+            else None
+        )
+
+        for idx, line in enumerate(self.code_lines, start=1):
+            if line.lstrip().startswith("#"):
+                continue  # preprocessor: includes are not declarations
+            if routing:
+                if self.UNORDERED_DECL.search(line):
+                    self.flag(idx, "unordered-member", line.strip()[:80])
+                if unordered_iter and unordered_iter.search(line):
+                    self.flag(idx, "unordered-iteration", line.strip()[:80])
+                if re.search(
+                    r"for\s*\([^;()]*:\s*[^()]*\bunordered_(?:map|set)", line
+                ):
+                    self.flag(idx, "unordered-iteration", line.strip()[:80])
+                if (
+                    self.POINTER_KEY.search(line)
+                    or self.POINTER_HASH.search(line)
+                    or self.POINTER_TO_INT.search(line)
+                ):
+                    self.flag(idx, "pointer-order", line.strip()[:80])
+                if self.STATIC_LOCAL.search(line) and "(" not in line.split(
+                    "="
+                )[0].split(";")[0].replace("()", ""):
+                    self.flag(idx, "static-local", line.strip()[:80])
+            if raw_random and self.RAW_RANDOM.search(line):
+                self.flag(idx, "raw-random", line.strip()[:80])
+            if has_on_step and (
+                self.RECORD_SPAN_RETAIN.search(line)
+                or self.RECORD_RETAIN.search(line)
+                or self.SPAN_MEMBER.search(line)
+            ):
+                self.flag(idx, "span-retention", line.strip()[:80])
+        return self.findings
+
+
+# -- optional clang engine ----------------------------------------------------
+def clang_confirm_unordered_iteration(
+    findings: list[Finding], root: pathlib.Path
+) -> list[Finding]:
+    """AST pass over unordered-iteration findings: keeps only those whose
+    line really sits inside a range-for over an unordered container. Used
+    when the libclang bindings are importable; otherwise the regex verdicts
+    stand as-is."""
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        return findings
+
+    keep: list[Finding] = []
+    other = [f for f in findings if f.rule != "unordered-iteration"]
+    by_file: dict[str, list[Finding]] = {}
+    for f in findings:
+        if f.rule == "unordered-iteration":
+            by_file.setdefault(f.path, []).append(f)
+
+    index = cindex.Index.create()
+    for relpath, file_findings in by_file.items():
+        try:
+            tu = index.parse(
+                str(root / relpath), args=["-std=c++20", "-I", str(root / "src")]
+            )
+        except cindex.TranslationUnitLoadError:
+            keep.extend(file_findings)  # cannot parse: trust the regex
+            continue
+        iter_lines: set[int] = set()
+        def visit(node):  # noqa: ANN001
+            if node.kind == cindex.CursorKind.CXX_FOR_RANGE_STMT:
+                for child in node.get_children():
+                    if "unordered_" in (child.type.spelling or ""):
+                        iter_lines.add(node.location.line)
+                        break
+            for child in node.get_children():
+                visit(child)
+        visit(tu.cursor)
+        keep.extend(f for f in file_findings if f.line in iter_lines)
+    return other + keep
+
+
+# -- driver -------------------------------------------------------------------
+SCAN_DIRS = ("src", "bench", "examples", "tests")
+EXTS = (".hpp", ".cpp", ".h", ".cc")
+
+
+def iter_tree(root: pathlib.Path):
+    for d in SCAN_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for p in sorted(base.rglob("*")):
+            if p.suffix in EXTS and p.is_file():
+                yield p
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0], prog="determinism_lint"
+    )
+    ap.add_argument(
+        "--root",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parents[2],
+        help="repository root (default: two levels above this script)",
+    )
+    ap.add_argument(
+        "files",
+        nargs="*",
+        type=pathlib.Path,
+        help="lint only these files instead of the whole tree",
+    )
+    ap.add_argument(
+        "--fixture-mode",
+        action="store_true",
+        help="treat the given files as routing-reachable and apply every "
+        "rule regardless of path (used by the self-test corpus)",
+    )
+    ap.add_argument(
+        "--engine",
+        choices=("auto", "regex", "clang"),
+        default="auto",
+        help="auto = regex, plus AST confirmation when libclang imports",
+    )
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule, text in RULES.items():
+            print(f"{rule}: {text}")
+        return 0
+
+    root = args.root.resolve()
+    if args.files:
+        paths = [p.resolve() for p in args.files]
+    else:
+        paths = list(iter_tree(root))
+    if not paths:
+        print("determinism_lint: nothing to scan", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    for path in paths:
+        try:
+            rel = path.relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        text = path.read_text(encoding="utf-8", errors="replace")
+        findings.extend(
+            FileLinter(rel, text, force_all_rules=args.fixture_mode).lint()
+        )
+
+    if args.engine in ("auto", "clang"):
+        if args.engine == "clang":
+            try:
+                import clang.cindex  # type: ignore  # noqa: F401
+            except ImportError:
+                print(
+                    "determinism_lint: --engine=clang but libclang bindings "
+                    "are not importable",
+                    file=sys.stderr,
+                )
+                return 2
+        findings = clang_confirm_unordered_iteration(findings, root)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    for f in findings:
+        print(f)
+    if findings:
+        print(
+            f"determinism_lint: {len(findings)} finding(s); see "
+            "docs/STATIC_ANALYSIS.md for the rules and the allow syntax",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,27 @@
+// Fixture: ordering or hashing by pointer value. Allocation addresses vary
+// run to run, so any pointer-keyed order leaks nondeterminism into results.
+// Expected findings: pointer-order (x3).
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace fixture {
+
+struct Packet {
+  int id;
+};
+
+struct Registry {
+  // BAD: std::set orders by pointer value.
+  std::set<const Packet*> live_;
+  // BAD: pointer-keyed map, same problem.
+  std::map<Packet*, int> rank_;
+};
+
+inline std::size_t key_of(const Packet* p) {
+  // BAD: pointer cast to integer — address-dependent value.
+  return static_cast<std::size_t>(reinterpret_cast<std::uintptr_t>(p));
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Fixture: raw randomness outside src/util/rng.*. Every draw must come from
+// the engine's per-(seed, step, node) streams to keep runs replayable.
+// Expected findings: raw-random (x3).
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+inline int roll_dice() {
+  // BAD: std::rand is global mutable state with unspecified sequences.
+  return std::rand() % 6;
+}
+
+inline unsigned seed_from_entropy() {
+  // BAD: random_device is non-reproducible by design.
+  std::random_device rd;
+  return rd();
+}
+
+inline int shuffle_seed() {
+  // BAD: private engine bypasses the repo's seed discipline.
+  std::mt19937 gen(42);
+  return static_cast<int>(gen());
+}
+
+}  // namespace fixture

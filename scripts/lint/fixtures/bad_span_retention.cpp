@@ -1,0 +1,46 @@
+// Fixture: a StepObserver::on_step override that stores the record's spans.
+// The spans alias the engine's per-step scratch buffers and die with the
+// call (sim/observer.hpp) — observers must copy what they keep.
+// Expected findings: span-retention (x3).
+#include <cstdint>
+#include <span>
+
+namespace fixture {
+
+struct Assignment {
+  std::uint64_t pkt;
+};
+struct Packet {
+  std::uint64_t id;
+};
+struct StepRecord {
+  std::uint64_t step;
+  std::span<const Assignment> assignments;
+  std::span<const Packet> arrivals;
+};
+struct Engine {};
+
+class StepObserver {
+ public:
+  virtual ~StepObserver() = default;
+  virtual void on_step(const Engine& engine, const StepRecord& record) = 0;
+};
+
+class LeakyObserver final : public StepObserver {
+ public:
+  void on_step(const Engine& /*engine*/, const StepRecord& record) override {
+    // BAD: the span dangles as soon as on_step returns.
+    last_assignments_ = record.assignments;
+    // BAD: whole-record member copy smuggles both spans out.
+    last_record_ = record;
+    last_step_ = record.step;  // OK: scalar copy.
+  }
+
+ private:
+  // BAD: span member in an observer is retention by construction.
+  std::span<const Assignment> last_assignments_;
+  StepRecord last_record_;
+  std::uint64_t last_step_ = 0;
+};
+
+}  // namespace fixture

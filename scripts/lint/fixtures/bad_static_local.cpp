@@ -1,0 +1,27 @@
+// Fixture: mutable function-local statics in policy code. Hidden cross-call
+// state makes a node's routing decision depend on global execution history,
+// breaking both replayability and the sharded-routing purity argument.
+// Expected findings: static-local (x2).
+#include <cstdint>
+
+namespace fixture {
+
+inline int next_tiebreak() {
+  // BAD: mutates across calls; order of calls differs across shardings.
+  static int counter = 0;
+  return counter++;
+}
+
+inline std::uint64_t remembered_step() {
+  // BAD: same problem, thread_local flavor.
+  static thread_local std::uint64_t last_step = 0;
+  return ++last_step;
+}
+
+// OK: immutable statics carry no cross-call state.
+inline int table_lookup(int i) {
+  static constexpr int kTable[4] = {1, 2, 3, 4};
+  return kTable[i & 3];
+}
+
+}  // namespace fixture

@@ -1,0 +1,40 @@
+// Fixture: iterating an unordered container whose *declaration* is
+// legitimately allowlisted. The iteration is still a finding — the allow
+// covers the member's existence, not walking it in unspecified order.
+// Expected findings: unordered-iteration (x3), plus unordered-member (x1)
+// for the unannotated parameter of drain().
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+class Digest {
+ public:
+  std::uint64_t sum() const {
+    std::uint64_t total = 0;
+    // BAD: range-for over an unordered map; order is unspecified.
+    for (const auto& kv : seen_) total += kv.second;
+    return total;
+  }
+
+  std::uint64_t first() const {
+    // BAD: begin() on an unordered map picks an arbitrary bucket.
+    return seen_.begin()->second;
+  }
+
+ private:
+  // hp-lint: allow(unordered-member) fixture: pretend this map is only used
+  // through order-independent lookups (the iterations above violate that).
+  std::unordered_map<std::uint64_t, std::uint64_t> seen_;
+};
+
+inline std::uint64_t drain(const std::unordered_map<int, int>& m) {
+  std::uint64_t total = 0;
+  // BAD: iterating a parameter of unordered type.
+  for (const auto& kv : m) {
+    total += static_cast<std::uint64_t>(kv.second);
+  }
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: unordered containers in routing-reachable code without an allow
+// annotation. Expected findings: unordered-member (x3 — one of them via a
+// reasonless allow, which must not suppress).
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Tracker {
+  // BAD: no annotation at all.
+  std::unordered_map<std::uint64_t, int> counts_;
+
+  // BAD: annotation present but the mandatory reason is missing.
+  std::unordered_set<std::uint64_t> ids_;  // hp-lint: allow(unordered-member)
+};
+
+// BAD: local variable, still unordered in routing scope.
+inline int count_distinct(const int* v, int n) {
+  std::unordered_set<int> seen;
+  for (int i = 0; i < n; ++i) seen.insert(v[i]);
+  return static_cast<int>(seen.size());
+}
+
+}  // namespace fixture

@@ -1,0 +1,74 @@
+// Fixture: the livelock-detector shape — an unordered map used strictly
+// through order-independent operations, carrying a properly reasoned allow
+// annotation. Also exercises the benign look-alikes each rule must NOT
+// flag. Expected findings: none.
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Assignment {
+  std::uint64_t pkt;
+};
+struct Packet {
+  std::uint64_t id;
+};
+struct StepRecord {
+  std::uint64_t step;
+  std::span<const Assignment> assignments;
+  std::span<const Packet> arrivals;
+};
+struct Engine {};
+
+class StepObserver {
+ public:
+  virtual ~StepObserver() = default;
+  virtual void on_step(const Engine& engine, const StepRecord& record) = 0;
+};
+
+/// The commutative-hash discipline: the map is fed by an order-independent
+/// digest and consumed by lookup/insert/size only — never iterated.
+class Detector {
+ public:
+  std::uint64_t record(std::uint64_t digest, std::uint64_t step) {
+    auto [it, inserted] = seen_.try_emplace(digest, step);
+    return inserted ? kNoRepeat : it->second;
+  }
+  std::size_t states_seen() const { return seen_.size(); }
+  static constexpr std::uint64_t kNoRepeat = ~std::uint64_t{0};
+
+ private:
+  // hp-lint: allow(unordered-member) lookup/insert only, never iterated;
+  // keys are commutative digests so no result depends on bucket order.
+  std::unordered_map<std::uint64_t, std::uint64_t> seen_;
+};
+
+/// An observer that copies what it keeps: scalars and explicit vectors.
+class CopyingObserver final : public StepObserver {
+ public:
+  void on_step(const Engine& /*engine*/, const StepRecord& record) override {
+    last_step_ = record.step;  // scalar copy: fine
+    arrivals_seen_ += record.arrivals.size();
+    for (const Assignment& a : record.assignments) {  // transient walk: fine
+      ids_.push_back(a.pkt);  // element-wise copy: fine
+    }
+  }
+
+ private:
+  std::uint64_t last_step_ = 0;
+  std::size_t arrivals_seen_ = 0;
+  std::vector<std::uint64_t> ids_;
+};
+
+/// Benign look-alikes: ordered set of values, rng-free "rand"-ish names,
+/// pointer *storage* (not ordering), constexpr local table.
+inline int strand_count(const std::vector<int>& strands) {
+  static constexpr int kBias = 1;
+  std::vector<const int*> ptrs;  // storing pointers is fine
+  for (const int& s : strands) ptrs.push_back(&s);
+  return static_cast<int>(ptrs.size()) + kBias;
+}
+
+}  // namespace fixture

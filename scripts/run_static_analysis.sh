@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Single local entry point for the three static-analysis layers
+# (docs/STATIC_ANALYSIS.md):
+#
+#   1. determinism lint  — scripts/lint/ self-tests, then the live tree
+#   2. strict warnings   — HP_STRICT build (-Werror) in build-strict/
+#   3. clang-tidy        — over build-strict/compile_commands.json
+#
+# plus a clang-format check when the binary exists. Layers whose tool is not
+# installed are SKIPPED with a notice (the container bakes in gcc + python3
+# only; CI runs every layer). Any executed layer failing fails the script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+usage() {
+  cat <<'EOF'
+usage: scripts/run_static_analysis.sh [--quick] [--no-tidy] [--help]
+
+  --quick    determinism lint + format check only (no build, no tidy)
+  --no-tidy  skip the clang-tidy layer even if clang-tidy is installed
+  --help     show this message
+EOF
+}
+
+QUICK=0
+NO_TIDY=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    --no-tidy) NO_TIDY=1 ;;
+    -h|--help) usage; exit 0 ;;
+    *) echo "unknown option: $arg" >&2; usage >&2; exit 2 ;;
+  esac
+done
+
+failures=0
+layer() { echo; echo "=== $* ==="; }
+
+# --- layer 3 first: it is the cheapest and the most repo-specific ----------
+layer "determinism lint: fixture self-tests"
+python3 scripts/lint/test_determinism_lint.py || failures=$((failures + 1))
+
+layer "determinism lint: live tree"
+python3 scripts/lint/determinism_lint.py --root . || failures=$((failures + 1))
+
+# --- format check (satellite): check-only, never reformats ------------------
+layer "clang-format check"
+if command -v clang-format >/dev/null 2>&1; then
+  git ls-files '*.hpp' '*.cpp' | xargs clang-format --dry-run -Werror \
+    || failures=$((failures + 1))
+else
+  echo "SKIPPED: clang-format not installed"
+fi
+
+if [ "$QUICK" = 1 ]; then
+  [ "$failures" = 0 ] || { echo; echo "static analysis: $failures layer(s) failed"; exit 1; }
+  echo; echo "static analysis (quick): all executed layers clean"
+  exit 0
+fi
+
+# --- layer 2: strict warnings as errors -------------------------------------
+layer "strict warnings (HP_STRICT=ON, -Werror)"
+mkdir -p build-strict
+cmake -B build-strict -S . -DHP_STRICT=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+  > build-strict/configure.log 2>&1 \
+  || { cat build-strict/configure.log; failures=$((failures + 1)); }
+cmake --build build-strict -j "$(nproc)" || failures=$((failures + 1))
+
+# --- layer 1: clang-tidy over the exported compilation database -------------
+layer "clang-tidy"
+if [ "$NO_TIDY" = 1 ]; then
+  echo "SKIPPED: --no-tidy"
+elif command -v clang-tidy >/dev/null 2>&1; then
+  clang-tidy --verify-config || failures=$((failures + 1))
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -quiet -p build-strict \
+      "$(pwd)/src/" "$(pwd)/bench/" "$(pwd)/examples/" "$(pwd)/tests/" \
+      || failures=$((failures + 1))
+  else
+    git ls-files 'src/*.cpp' 'bench/*.cpp' 'examples/*.cpp' 'tests/*.cpp' \
+      | xargs -P "$(nproc)" -n 1 clang-tidy -quiet -p build-strict \
+      || failures=$((failures + 1))
+  fi
+else
+  echo "SKIPPED: clang-tidy not installed"
+fi
+
+echo
+if [ "$failures" != 0 ]; then
+  echo "static analysis: $failures layer(s) failed"
+  exit 1
+fi
+echo "static analysis: all executed layers clean"

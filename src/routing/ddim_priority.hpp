@@ -21,6 +21,11 @@ class DdimPriorityPolicy : public PriorityGreedyPolicy {
 
   std::string name() const override;
 
+  /// Fewest-good-directions-first puts restricted packets (one good
+  /// direction) ahead of everything else, so the Definition 18 preference
+  /// holds as a special case of the Section 5 priority.
+  bool claims_restricted_preference() const override { return true; }
+
  protected:
   /// Priority is the number of good directions: the most constrained
   /// packets route first.

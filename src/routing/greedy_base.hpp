@@ -39,6 +39,11 @@ class PriorityGreedyPolicy : public sim::RoutingPolicy {
     return !options_.randomize_ties && options_.deflect != DeflectRule::kRandom;
   }
 
+  /// Greedy per Definition 6 by construction: the matching machinery only
+  /// deflects a packet when all of its good arcs carry advancing packets.
+  /// HP_AUDIT builds re-verify this with core::GreedyChecker on every run.
+  bool claims_greedy() const override { return true; }
+
   const Options& options() const { return options_; }
 
  protected:

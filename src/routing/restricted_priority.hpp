@@ -38,6 +38,11 @@ class RestrictedPriorityPolicy : public PriorityGreedyPolicy {
 
   std::string name() const override;
 
+  /// Every tie-break/deflect combination stays inside the Definition 18
+  /// class: restricted packets outrank all others, so a nonrestricted
+  /// packet can never deflect a restricted one.
+  bool claims_restricted_preference() const override { return true; }
+
  protected:
   int rank(const sim::NodeContext& ctx,
            const sim::PacketView& packet) const override;

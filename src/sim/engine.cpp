@@ -4,7 +4,60 @@
 
 #include "util/check.hpp"
 
+#ifdef HP_AUDIT
+#include <optional>
+#include <string>
+#include <utility>
+
+// The audit gate reaches one layer up into core/ for the definition
+// checkers. Only the .cpp depends on it, and only under HP_AUDIT, so the
+// sim -> core edge never leaks into the public headers.
+#include "core/checkers.hpp"
+#endif
+
 namespace hp::sim {
+
+#ifdef HP_AUDIT
+namespace {
+
+/// Wraps the Definition 6 / Definition 18 checkers behind the audit gate:
+/// any recorded violation aborts the run via hp::CheckError, so every
+/// engine-driving test doubles as a conformance test for the policy's
+/// claims.
+class DefinitionAudit final : public StepObserver {
+ public:
+  DefinitionAudit(std::string policy, bool greedy, bool preference)
+      : policy_(std::move(policy)) {
+    if (greedy) greedy_.emplace();
+    if (preference) preference_.emplace();
+  }
+
+  void on_step(const Engine& engine, const StepRecord& record) override {
+    if (greedy_.has_value()) {
+      greedy_->on_step(engine, record);
+      HP_CHECK(greedy_->violations().empty(),
+               "HP_AUDIT: policy '" + policy_ +
+                   "' claims greedy (Definition 6) but violated it: " +
+                   greedy_->violations().front());
+    }
+    if (preference_.has_value()) {
+      preference_->on_step(engine, record);
+      HP_CHECK(preference_->violations().empty(),
+               "HP_AUDIT: policy '" + policy_ +
+                   "' claims restricted preference (Definition 18) but "
+                   "violated it: " +
+                   preference_->violations().front());
+    }
+  }
+
+ private:
+  std::string policy_;
+  std::optional<core::GreedyChecker> greedy_;
+  std::optional<core::RestrictedPreferenceChecker> preference_;
+};
+
+}  // namespace
+#endif  // HP_AUDIT
 
 namespace {
 
@@ -68,6 +121,16 @@ Engine::Engine(const net::Network& net, const workload::Problem& problem,
 
   problem.validate(net);
   inject(problem);
+
+#ifdef HP_AUDIT
+  if (policy.claims_greedy() || policy.claims_restricted_preference()) {
+    audit_ = std::make_unique<DefinitionAudit>(
+        policy.name(), policy.claims_greedy(),
+        policy.claims_restricted_preference());
+    add_observer(audit_.get());
+  }
+#endif
+
   if (config_.num_threads > 1) start_pool();
 }
 

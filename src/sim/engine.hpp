@@ -230,6 +230,9 @@ class Engine {
   bool pool_stop_ = false;
 
   LivelockDetector livelock_;
+  /// HP_AUDIT builds: engine-owned checker that re-verifies the policy's
+  /// Definition 6 / Definition 18 claims every step (null otherwise).
+  std::unique_ptr<StepObserver> audit_;
   std::vector<StepObserver*> observers_;
 };
 

@@ -54,6 +54,9 @@ class LivelockDetector {
     std::uint64_t hi;
     std::uint64_t step;
   };
+  // hp-lint: allow(unordered-member) lookup/insert only, never iterated:
+  // the digest keying this map is a commutative sum over the in-flight set
+  // (see digest_state), so no result ever depends on bucket order.
   std::unordered_map<std::uint64_t, Entry> seen_;
 };
 

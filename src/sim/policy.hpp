@@ -70,6 +70,18 @@ class RoutingPolicy {
   /// never draws from ctx.rng). The engine only trusts repeated-state
   /// detection as a livelock proof for deterministic policies.
   virtual bool deterministic() const { return false; }
+
+  /// Conformance claims, audited at runtime when the library is built with
+  /// HP_AUDIT (see docs/STATIC_ANALYSIS.md): the engine attaches the
+  /// matching core:: checker to every run of a claiming policy and throws
+  /// hp::CheckError on the first violation. Claims are promises about the
+  /// algorithm *class*, not about one run — only claim what holds for every
+  /// input.
+  /// Definition 6: whenever a packet is deflected, each of its good arcs is
+  /// used by another advancing packet.
+  virtual bool claims_greedy() const { return false; }
+  /// Definition 18: a nonrestricted packet never deflects a restricted one.
+  virtual bool claims_restricted_preference() const { return false; }
 };
 
 }  // namespace hp::sim

@@ -91,7 +91,8 @@ std::string Histogram::ascii(std::size_t width) const {
     if (counts_[i] == 0) continue;
     const auto bar = peak == 0 ? std::size_t{0}
                                : static_cast<std::size_t>(
-                                     static_cast<double>(counts_[i]) * width /
+                                     static_cast<double>(counts_[i]) *
+                                     static_cast<double>(width) /
                                      static_cast<double>(peak));
     os << "[" << bin_lo(i) << ", " << bin_hi(i) << ") "
        << std::string(std::max<std::size_t>(bar, 1), '#') << " " << counts_[i]

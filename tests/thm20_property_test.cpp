@@ -85,8 +85,8 @@ std::vector<Case> make_cases() {
 
 INSTANTIATE_TEST_SUITE_P(
     Grid, Thm20Sweep, ::testing::ValuesIn(make_cases()),
-    [](const ::testing::TestParamInfo<Case>& info) {
-      const Case& c = info.param;
+    [](const ::testing::TestParamInfo<Case>& param_info) {
+      const Case& c = param_info.param;
       return "n" + std::to_string(c.n) + "_k" + std::to_string(c.k) + "_tie" +
              std::to_string(static_cast<int>(c.tie_break)) + "_defl" +
              std::to_string(static_cast<int>(c.deflect));
