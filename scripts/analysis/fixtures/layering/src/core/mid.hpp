@@ -1,0 +1,9 @@
+// Fixture: one downward include (fine) and one upward include (violation).
+#pragma once
+
+#include "sim/engine.hpp"
+#include "util/base.hpp"
+
+namespace hp::core {
+inline int mid() { return hp::util::base(); }
+}  // namespace hp::core

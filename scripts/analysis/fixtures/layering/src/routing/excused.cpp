@@ -1,0 +1,6 @@
+// Fixture: upward include covered by a reviewed edge_exception — no finding.
+#include "sim/engine.hpp"
+
+namespace hp::routing {
+int excused() { return hp::sim::engine(); }
+}  // namespace hp::routing

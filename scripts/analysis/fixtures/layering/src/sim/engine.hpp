@@ -1,0 +1,8 @@
+// Fixture: sim layer; including downward into util is always fine.
+#pragma once
+
+#include "util/base.hpp"
+
+namespace hp::sim {
+inline int engine() { return hp::util::base(); }
+}  // namespace hp::sim

@@ -1,0 +1,6 @@
+// Fixture: bottom layer, no includes.
+#pragma once
+
+namespace hp::util {
+inline int base() { return 0; }
+}  // namespace hp::util

@@ -1,0 +1,23 @@
+// Fixture: routing-REACHABLE core code (called from Engine::step) that sits
+// OUTSIDE the lint's textual prefix floor (src/sim/, src/routing/). The
+// unordered-container findings below must be reported once the reachability
+// artifact widens the scope — and must NOT be reported without it.
+#include "core/helper.hpp"
+
+#include <unordered_map>
+
+namespace hp::core {
+
+void route_phase(int rounds) {
+  std::unordered_map<int, int> tally;
+  for (int r = 0; r < rounds; ++r) {
+    tally[r % 2] += r;
+  }
+  int sum = 0;
+  for (const auto& kv : tally) {  // iteration order is unspecified
+    sum += kv.second;
+  }
+  (void)sum;
+}
+
+}  // namespace hp::core

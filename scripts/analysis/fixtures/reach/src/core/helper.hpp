@@ -1,0 +1,9 @@
+// Fixture: declaration only — the definition (and its findings) are in the
+// .cpp, so reachability must follow the call graph, not this header.
+#pragma once
+
+namespace hp::core {
+
+void route_phase(int rounds);
+
+}  // namespace hp::core

@@ -1,0 +1,12 @@
+// Fixture: observer interface; overrides live in other layers.
+#pragma once
+
+namespace hp::core {
+
+class Obs {
+ public:
+  virtual ~Obs() = default;
+  virtual void on_tick() = 0;
+};
+
+}  // namespace hp::core

@@ -1,0 +1,14 @@
+#include "sim/engine.hpp"
+
+#include "core/helper.hpp"
+
+namespace hp::sim {
+
+void Engine::step() {
+  core::route_phase(3);
+  if (obs_ != nullptr) {
+    obs_->on_tick();  // virtual dispatch: must reach every on_tick override
+  }
+}
+
+}  // namespace hp::sim

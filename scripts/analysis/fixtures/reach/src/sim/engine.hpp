@@ -1,0 +1,16 @@
+// Fixture: minimal engine whose step() is the reachability root.
+#pragma once
+
+#include "core/obs.hpp"
+
+namespace hp::sim {
+
+class Engine {
+ public:
+  void step();
+
+ private:
+  core::Obs* obs_ = nullptr;
+};
+
+}  // namespace hp::sim

@@ -1,0 +1,17 @@
+// Fixture: stats-layer observer reached only through virtual dispatch
+// (engine.cpp calls obs_->on_tick()). Its file must appear in the artifact.
+#include "core/obs.hpp"
+
+namespace hp::stats {
+
+class TickCounter : public core::Obs {
+ public:
+  void on_tick() override;
+
+ private:
+  long ticks_ = 0;
+};
+
+void TickCounter::on_tick() { ticks_ += 1; }
+
+}  // namespace hp::stats

@@ -1,0 +1,19 @@
+// Fixture: NOT reachable from Engine::step — nothing calls orphan_stat. The
+// unordered iteration below must stay un-flagged (the lint certifies the
+// reachable class, it is not a blanket src/ ban), and this file must stay
+// out of the artifact.
+#include <unordered_map>
+
+namespace hp::stats {
+
+int orphan_stat() {
+  std::unordered_map<int, int> m;
+  m[1] = 2;
+  int sum = 0;
+  for (const auto& kv : m) {
+    sum += kv.second;
+  }
+  return sum;
+}
+
+}  // namespace hp::stats

@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# Single local entry point for the three static-analysis layers
+# Single local entry point for the static-analysis layers
 # (docs/STATIC_ANALYSIS.md):
 #
-#   1. determinism lint  — scripts/lint/ self-tests, then the live tree
-#   2. strict warnings   — HP_STRICT build (-Werror) in build-strict/
-#   3. clang-tidy        — over build-strict/compile_commands.json
+#   1. whole-program analyzer — scripts/analysis/ self-tests, then the
+#      layering gate and the routing_reachable.json freshness check
+#   2. determinism lint  — scripts/lint/ self-tests, then the live tree
+#      (scope = prefix floor ∪ the reachability artifact)
+#   3. strict warnings   — HP_STRICT build (-Werror) in build-strict/
+#   4. thread safety     — fixture census + clang -Wthread-safety -Werror
+#      build in build-tsafety/ (clang-only)
+#   5. clang-tidy        — over build-strict/compile_commands.json
 #
 # plus a clang-format check when the binary exists. Layers whose tool is not
 # installed are SKIPPED with a notice (the container bakes in gcc + python3
@@ -16,7 +21,7 @@ usage() {
   cat <<'EOF'
 usage: scripts/run_static_analysis.sh [--quick] [--no-tidy] [--help]
 
-  --quick    determinism lint + format check only (no build, no tidy)
+  --quick    analyzer + lints + format check only (no builds, no tidy)
   --no-tidy  skip the clang-tidy layer even if clang-tidy is installed
   --help     show this message
 EOF
@@ -36,12 +41,25 @@ done
 failures=0
 layer() { echo; echo "=== $* ==="; }
 
-# --- layer 3 first: it is the cheapest and the most repo-specific ----------
+# --- cheapest and most repo-specific layers first ---------------------------
+layer "whole-program analyzer: fixture self-tests"
+python3 scripts/analysis/test_callgraph.py || failures=$((failures + 1))
+
+layer "layering gate (declared DAG over the include graph)"
+python3 scripts/analysis/callgraph.py layering || failures=$((failures + 1))
+
+layer "routing_reachable.json freshness"
+python3 scripts/analysis/callgraph.py reachable --check \
+  || failures=$((failures + 1))
+
 layer "determinism lint: fixture self-tests"
 python3 scripts/lint/test_determinism_lint.py || failures=$((failures + 1))
 
-layer "determinism lint: live tree"
+layer "determinism lint: live tree (call-graph-scoped)"
 python3 scripts/lint/determinism_lint.py --root . || failures=$((failures + 1))
+
+layer "bench_compare: self-test"
+python3 scripts/bench_compare.py --self-test || failures=$((failures + 1))
 
 # --- format check (satellite): check-only, never reformats ------------------
 layer "clang-format check"
@@ -66,7 +84,21 @@ cmake -B build-strict -S . -DHP_STRICT=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
   || { cat build-strict/configure.log; failures=$((failures + 1)); }
 cmake --build build-strict -j "$(nproc)" || failures=$((failures + 1))
 
-# --- layer 1: clang-tidy over the exported compilation database -------------
+# --- thread-safety: fixtures + whole-tree clang build -----------------------
+layer "thread safety (-Wthread-safety -Werror, clang-only)"
+python3 scripts/analysis/test_thread_safety.py || failures=$((failures + 1))
+if command -v clang++ >/dev/null 2>&1; then
+  mkdir -p build-tsafety
+  cmake -B build-tsafety -S . -DHP_THREAD_SAFETY=ON \
+    -DCMAKE_CXX_COMPILER=clang++ \
+    > build-tsafety/configure.log 2>&1 \
+    || { cat build-tsafety/configure.log; failures=$((failures + 1)); }
+  cmake --build build-tsafety -j "$(nproc)" || failures=$((failures + 1))
+else
+  echo "SKIPPED: whole-tree thread-safety build needs clang++"
+fi
+
+# --- clang-tidy over the exported compilation database ----------------------
 layer "clang-tidy"
 if [ "$NO_TIDY" = 1 ]; then
   echo "SKIPPED: --no-tidy"

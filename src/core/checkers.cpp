@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "sim/engine.hpp"
+
 namespace hp::core {
 
 namespace {

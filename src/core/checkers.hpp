@@ -9,7 +9,6 @@
 #include <string>
 #include <vector>
 
-#include "sim/engine.hpp"
 #include "sim/observer.hpp"
 
 namespace hp::core {

@@ -51,6 +51,8 @@ std::size_t CellSet::surface_area() const {
 
 std::size_t CellSet::projection_size(int dropped_axis) const {
   HP_REQUIRE(dropped_axis >= 0 && dropped_axis < d_, "axis out of range");
+  // hp-lint: allow(unordered-member) insert + size() only, never iterated:
+  // the projection cardinality is independent of bucket order.
   std::unordered_set<std::uint64_t> shadow;
   for (const net::Coord& c : cells_) {
     std::uint64_t k = 0;

@@ -44,6 +44,8 @@ class CellSet {
   std::uint64_t key(const net::Coord& c) const;
   int d_;
   std::vector<net::Coord> cells_;
+  // hp-lint: allow(unordered-member) membership/dedup only, never iterated:
+  // every traversal runs over cells_, which preserves insertion order.
   std::unordered_set<std::uint64_t> index_;
 };
 

@@ -4,6 +4,7 @@
 #include <limits>
 #include <sstream>
 
+#include "sim/engine.hpp"
 #include "util/check.hpp"
 
 namespace hp::core {

@@ -30,7 +30,6 @@
 #include <string>
 #include <vector>
 
-#include "sim/engine.hpp"
 #include "sim/observer.hpp"
 #include "topology/network.hpp"
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "sim/engine.hpp"
 #include "util/check.hpp"
 
 namespace hp::core {

@@ -12,7 +12,6 @@
 #include <cstdint>
 #include <vector>
 
-#include "sim/engine.hpp"
 #include "sim/observer.hpp"
 #include "topology/mesh.hpp"
 

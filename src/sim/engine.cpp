@@ -342,26 +342,34 @@ void Engine::route_all() {
   }
 
   const std::size_t shards = std::min(threads, m);
-  shard_ranges_.assign(shards, {});
+  // shard_bufs_ is shard-confined (see engine.hpp): the workers are
+  // quiescent here — the previous epoch's pending count reached 0 — so the
+  // serial phase may clear the buffers without the lock.
   if (shard_bufs_.size() < shards) shard_bufs_.resize(shards);
-  shard_errors_.assign(shards, nullptr);
-  for (std::size_t w = 0; w < shards; ++w) {
-    shard_ranges_[w].begin = m * w / shards;
-    shard_ranges_[w].end = m * (w + 1) / shards;
-    shard_bufs_[w].clear();
-  }
+  for (std::size_t w = 0; w < shards; ++w) shard_bufs_[w].clear();
 
+  std::exception_ptr failure;
   {
-    std::unique_lock<std::mutex> lock(pool_mu_);
+    util::MutexLock lock(&pool_mu_);
+    shard_ranges_.assign(shards, {});
+    shard_errors_.assign(shards, nullptr);
+    for (std::size_t w = 0; w < shards; ++w) {
+      shard_ranges_[w].begin = m * w / shards;
+      shard_ranges_[w].end = m * (w + 1) / shards;
+    }
     pool_active_shards_ = shards;
     pool_pending_ = shards;
     ++pool_epoch_;
     pool_cv_.notify_all();
-    done_cv_.wait(lock, [&] { return pool_pending_ == 0; });
+    while (pool_pending_ != 0) done_cv_.wait(pool_mu_);
+    for (std::size_t w = 0; w < shards; ++w) {
+      if (shard_errors_[w]) {
+        failure = shard_errors_[w];
+        break;
+      }
+    }
   }
-  for (std::size_t w = 0; w < shards; ++w) {
-    if (shard_errors_[w]) std::rethrow_exception(shard_errors_[w]);
-  }
+  if (failure) std::rethrow_exception(failure);
   // Concatenate per-shard buffers in shard order: the result is the same
   // sequence a serial traversal of occupied_ produces.
   for (std::size_t w = 0; w < shards; ++w) {
@@ -382,7 +390,7 @@ void Engine::start_pool() {
 void Engine::stop_pool() {
   if (workers_.empty()) return;
   {
-    std::lock_guard<std::mutex> lock(pool_mu_);
+    util::MutexLock lock(&pool_mu_);
     pool_stop_ = true;
     pool_cv_.notify_all();
   }
@@ -396,10 +404,12 @@ void Engine::worker_loop(std::size_t worker_index) {
     ShardRange range;
     bool has_work = false;
     {
-      std::unique_lock<std::mutex> lock(pool_mu_);
-      pool_cv_.wait(lock, [&] {
-        return pool_stop_ || pool_epoch_ != seen_epoch;
-      });
+      util::MutexLock lock(&pool_mu_);
+      // Explicit wait loop (not a predicate lambda): the analysis can see
+      // the guarded reads happen with pool_mu_ held.
+      while (!pool_stop_ && pool_epoch_ == seen_epoch) {
+        pool_cv_.wait(pool_mu_);
+      }
       if (pool_stop_) return;
       seen_epoch = pool_epoch_;
       if (worker_index < pool_active_shards_) {
@@ -408,12 +418,14 @@ void Engine::worker_loop(std::size_t worker_index) {
       }
     }
     if (has_work) {
+      std::exception_ptr error;
       try {
         route_range(range.begin, range.end, shard_bufs_[worker_index]);
       } catch (...) {
-        shard_errors_[worker_index] = std::current_exception();
+        error = std::current_exception();
       }
-      std::lock_guard<std::mutex> lock(pool_mu_);
+      util::MutexLock lock(&pool_mu_);
+      shard_errors_[worker_index] = error;
       if (--pool_pending_ == 0) done_cv_.notify_one();
     }
   }

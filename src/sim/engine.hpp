@@ -29,7 +29,6 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -42,6 +41,8 @@
 #include "topology/network.hpp"
 #include "util/inline_vector.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 #include "workload/workload.hpp"
 
 namespace hp::sim {
@@ -168,7 +169,7 @@ class Engine {
 
   void inject(const workload::Problem& problem);
   void build_occupancy();
-  void route_all();
+  void route_all() HP_EXCLUDES(pool_mu_);
   void route_range(std::size_t begin, std::size_t end,
                    std::vector<Assignment>& out);
   void route_node(net::NodeId node, const Bucket& residents,
@@ -177,9 +178,9 @@ class Engine {
   RunResult make_result();
 
   // Worker-pool plumbing (only spun up when config_.num_threads > 1).
-  void start_pool();
-  void stop_pool();
-  void worker_loop(std::size_t worker_index);
+  void start_pool() HP_EXCLUDES(pool_mu_);
+  void stop_pool() HP_EXCLUDES(pool_mu_);
+  void worker_loop(std::size_t worker_index) HP_EXCLUDES(pool_mu_);
 
   const net::Network& net_;
   RoutingPolicy& policy_;
@@ -212,22 +213,30 @@ class Engine {
   std::vector<Assignment> assignments_;
   std::vector<Packet> step_arrivals_;  // this step's arrival records
 
-  // Routing-phase shards. shard_bufs_[w] is written by worker w only.
+  // Routing-phase shards. Everything the main thread and the workers
+  // exchange is guarded by pool_mu_ and certified by -Wthread-safety
+  // (docs/STATIC_ANALYSIS.md, layer 6). The exception is shard_bufs_:
+  // shard_bufs_[w] is *shard-confined* — written by worker w alone between
+  // the epoch publication and its pending-decrement, and read by the main
+  // thread only after pool_pending_ hits 0; the pool_mu_ handshake provides
+  // the happens-before edges, so per-element guarding would be both wrong
+  // (elements are accessed without the lock, by design) and uncheckable.
   struct ShardRange {
     std::size_t begin = 0;
     std::size_t end = 0;
   };
-  std::vector<ShardRange> shard_ranges_;
-  std::vector<std::vector<Assignment>> shard_bufs_;
-  std::vector<std::exception_ptr> shard_errors_;
+  std::vector<ShardRange> shard_ranges_ HP_GUARDED_BY(pool_mu_);
+  std::vector<std::vector<Assignment>> shard_bufs_;  // shard-confined
+  std::vector<std::exception_ptr> shard_errors_ HP_GUARDED_BY(pool_mu_);
   std::vector<std::thread> workers_;
-  std::mutex pool_mu_;
-  std::condition_variable pool_cv_;   // workers wait for a new epoch
-  std::condition_variable done_cv_;   // main waits for pending == 0
-  std::uint64_t pool_epoch_ = 0;
-  std::size_t pool_pending_ = 0;
-  std::size_t pool_active_shards_ = 0;
-  bool pool_stop_ = false;
+  util::Mutex pool_mu_;
+  // condition_variable_any waits on util::Mutex directly (BasicLockable).
+  std::condition_variable_any pool_cv_;  // workers wait for a new epoch
+  std::condition_variable_any done_cv_;  // main waits for pending == 0
+  std::uint64_t pool_epoch_ HP_GUARDED_BY(pool_mu_) = 0;
+  std::size_t pool_pending_ HP_GUARDED_BY(pool_mu_) = 0;
+  std::size_t pool_active_shards_ HP_GUARDED_BY(pool_mu_) = 0;
+  bool pool_stop_ HP_GUARDED_BY(pool_mu_) = false;
 
   LivelockDetector livelock_;
   /// HP_AUDIT builds: engine-owned checker that re-verifies the policy's

@@ -1,0 +1,45 @@
+// Annotated synchronization primitives for the thread-safety analysis.
+//
+// libstdc++'s std::mutex / std::lock_guard carry no capability attributes,
+// so guarding state with them is invisible to `clang++ -Wthread-safety`.
+// These thin wrappers (the abseil Mutex/MutexLock shape) restore the
+// attributes with zero runtime cost; std::condition_variable_any accepts
+// Mutex directly as its BasicLockable, so the engine's epoch handshake
+// needs no unique_lock escape hatch.
+#pragma once
+
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace hp::util {
+
+/// std::mutex with capability annotations.
+class HP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HP_ACQUIRE() { mu_.lock(); }
+  void unlock() HP_RELEASE() { mu_.unlock(); }
+  bool try_lock() HP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock over Mutex (std::lock_guard with annotations).
+class HP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) HP_ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() HP_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+}  // namespace hp::util

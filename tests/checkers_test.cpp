@@ -6,7 +6,9 @@
 #include "routing/greedy_variants.hpp"
 #include "routing/perverse.hpp"
 #include "routing/restricted_priority.hpp"
+#include "sim/engine.hpp"
 #include "test_support.hpp"
+#include "util/check.hpp"
 #include "workload/generators.hpp"
 
 namespace hp {
@@ -55,6 +57,57 @@ class NonGreedyPolicy : public sim::RoutingPolicy {
     }
   }
 };
+
+/// NonGreedyPolicy that LIES about conforming to Definition 6. Under
+/// HP_AUDIT the engine attaches the GreedyChecker to any claiming policy,
+/// so the false claim must abort the run — the audit gate's negative path.
+class LyingGreedyPolicy : public NonGreedyPolicy {
+ public:
+  std::string name() const override { return "lying-greedy"; }
+  bool claims_greedy() const override { return true; }
+};
+
+/// Genuinely greedy (FurthestFirst inherits the Definition 6 discipline)
+/// but falsely claims the Definition 18 restricted preference it does not
+/// implement.
+class LyingPreferencePolicy : public routing::FurthestFirstPolicy {
+ public:
+  std::string name() const override { return "lying-preference"; }
+  bool claims_restricted_preference() const override { return true; }
+};
+
+TEST(AuditGate, FalseGreedyClaimAbortsTheRun) {
+#ifndef HP_AUDIT
+  GTEST_SKIP() << "HP_AUDIT is off: claims are not audited in this build";
+#else
+  // Same scenario FlagsNonGreedyPolicy proves violates Definition 6; with
+  // the false claim the engine itself must throw on the first step.
+  net::Mesh mesh(2, 8);
+  const auto mid = mesh.node_at(xy(3, 3));
+  auto problem = make_problem(
+      {{mid, mesh.node_at(xy(6, 6))}, {mid, mesh.node_at(xy(6, 5))}});
+  LyingGreedyPolicy policy;
+  sim::Engine engine(mesh, problem, policy);
+  EXPECT_THROW(engine.step(), CheckError);
+#endif
+}
+
+TEST(AuditGate, FalsePreferenceClaimAbortsTheRun) {
+#ifndef HP_AUDIT
+  GTEST_SKIP() << "HP_AUDIT is off: claims are not audited in this build";
+#else
+  // Same scenario FlagsPolicyIgnoringRestrictedPackets proves violates
+  // Definition 18 while staying greedy: only the preference claim is a lie.
+  net::Mesh mesh(2, 8);
+  const auto mid = mesh.node_at(xy(3, 3));
+  auto problem = make_problem(
+      {{mid, mesh.node_at(xy(5, 3))},    // restricted east, dist 2
+       {mid, mesh.node_at(xy(7, 7))}});  // unrestricted, dist 8 (wins)
+  LyingPreferencePolicy policy;
+  sim::Engine engine(mesh, problem, policy);
+  EXPECT_THROW(engine.step(), CheckError);
+#endif
+}
 
 TEST(GreedyChecker, CleanOnGreedyPolicies) {
   net::Mesh mesh(2, 8);
