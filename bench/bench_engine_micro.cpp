@@ -6,8 +6,12 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <memory>
 
 #include "bench_json.hpp"
+#include "obs/engine_metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "routing/restricted_priority.hpp"
 #include "sim/engine.hpp"
 #include "topology/hypercube.hpp"
@@ -102,10 +106,29 @@ void BM_HypercubeRun(benchmark::State& state) {
 }
 BENCHMARK(BM_HypercubeRun)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
 
+/// Observability attachment for a measured run: nothing (the regression
+/// baseline), the metrics observer, or the trace observer. The _metrics /
+/// _trace entries quantify the observer overhead, and bench_compare holds
+/// all three to their committed baselines — the off-path one guards the
+/// "untouched hot path" claim.
+enum class ObsMode { kOff, kMetrics, kTrace };
+
+const char* obs_suffix(ObsMode mode) {
+  switch (mode) {
+    case ObsMode::kMetrics:
+      return "_metrics";
+    case ObsMode::kTrace:
+      return "_trace";
+    default:
+      return "";
+  }
+}
+
 /// One timed batch run: a random permutation on the n×n mesh (k = n²
 /// packets), drained to completion. Reports wall time, steps/sec, mean ns
 /// per step, and the peak in-flight population.
-void measure_permutation(bench::JsonReport& report, int n, int threads) {
+void measure_permutation(bench::JsonReport& report, int n, int threads,
+                         ObsMode mode = ObsMode::kOff) {
   net::Mesh mesh(2, n);
   Rng rng(11);
   auto problem = workload::random_permutation(mesh, rng);
@@ -114,6 +137,18 @@ void measure_permutation(bench::JsonReport& report, int n, int threads) {
   config.num_threads = threads;
   config.archive_arrivals = false;
   sim::Engine engine(mesh, problem, policy, config);
+
+  obs::MetricsRegistry registry;
+  std::unique_ptr<obs::EngineMetrics> metrics;
+  obs::TraceRing ring(std::size_t{1} << 16);
+  std::unique_ptr<obs::TraceObserver> tracer;
+  if (mode == ObsMode::kMetrics) {
+    metrics = std::make_unique<obs::EngineMetrics>(registry);
+    engine.add_observer(metrics.get());
+  } else if (mode == ObsMode::kTrace) {
+    tracer = std::make_unique<obs::TraceObserver>(ring);
+    engine.add_observer(tracer.get());
+  }
 
   std::size_t peak = engine.in_flight();
   std::uint64_t steps = 0;
@@ -126,7 +161,7 @@ void measure_permutation(bench::JsonReport& report, int n, int threads) {
   const double sec = std::chrono::duration<double>(t1 - t0).count();
 
   report.add("permutation_n" + std::to_string(n) + "_t" +
-                 std::to_string(threads),
+                 std::to_string(threads) + obs_suffix(mode),
              {{"nodes", static_cast<double>(mesh.num_nodes())},
               {"packets", static_cast<double>(problem.size())},
               {"threads", static_cast<double>(threads)},
@@ -144,6 +179,10 @@ void write_engine_json() {
   measure_permutation(report, 256, 1);
   measure_permutation(report, 256, 4);
   measure_permutation(report, 64, 1);
+  // Observer overhead: same n = 64 run with the metrics / trace observers
+  // attached (the n = 64 off entry above is their baseline).
+  measure_permutation(report, 64, 1, ObsMode::kMetrics);
+  measure_permutation(report, 64, 1, ObsMode::kTrace);
   report.write("BENCH_engine.json");
 }
 

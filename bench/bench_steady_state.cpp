@@ -7,9 +7,13 @@
 // saturates, then flattens while latency and the deflection rate climb —
 // the classic deflection-network load curve.
 #include <chrono>
+#include <iostream>
+#include <sstream>
 
 #include "bench_common.hpp"
 #include "bench_json.hpp"
+#include "obs/engine_metrics.hpp"
+#include "obs/metrics.hpp"
 #include "sim/injection.hpp"
 #include "stats/steady_state.hpp"
 
@@ -56,6 +60,33 @@ void throughput_flatness() {
   }
   table.print(std::cout);
   report.write("BENCH_steady_state.json");
+}
+
+/// Observability demo: the same continuous-injection setting with a
+/// MetricsRegistry attached, dumping the end-of-run snapshot. Kept apart
+/// from throughput_flatness so the committed BENCH_steady_state.json
+/// baseline keeps measuring the bare engine.
+void steady_state_metrics_demo() {
+  print_header("E17d", "Metrics snapshot of a 50k-step injected run "
+                       "(obs::EngineMetrics, see docs/OBSERVABILITY.md)");
+  net::Mesh mesh(2, 8);
+  auto policy = make_policy("restricted");
+  sim::EngineConfig config;
+  config.seed = 9;
+  config.detect_livelock = false;
+  config.archive_arrivals = false;
+  sim::Engine engine(mesh, {}, *policy, config);
+  sim::BernoulliInjector injector(0.2, 41);
+  engine.set_injector(&injector);
+
+  obs::MetricsRegistry registry;
+  obs::EngineMetrics metrics(registry);
+  engine.add_observer(&metrics);
+  engine.run_for(50'000);
+
+  std::ostringstream csv;
+  registry.write_csv(csv);
+  std::cout << csv.str();
 }
 
 void load_curve(const net::Mesh& network) {
@@ -115,5 +146,6 @@ int main() {
   hp::bench::load_curve(torus);
   hp::bench::policy_comparison();
   hp::bench::throughput_flatness();
+  hp::bench::steady_state_metrics_demo();
   return 0;
 }

@@ -11,6 +11,7 @@
 //         --policy id-priority
 //   hpsim --topology mesh --n 16 --workload hotspot --k 200 --csv
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -20,6 +21,10 @@
 #include "core/checkers.hpp"
 #include "core/potential.hpp"
 #include "core/surface.hpp"
+#include "obs/engine_metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 #include "routing/brassil_cruz.hpp"
 #include "routing/ddim_priority.hpp"
 #include "routing/greedy_variants.hpp"
@@ -53,6 +58,9 @@ struct Options {
   double inject_rate = -1.0;       // >= 0 switches to steady-state mode
   std::uint64_t inject_steps = 2000;
   int threads = 1;
+  std::string metrics_path;  // metrics snapshot (.csv => CSV, else JSON)
+  std::string trace_path;    // Chrome trace_event JSON
+  bool profile = false;      // wall-clock phase profile on stderr
 };
 
 void usage() {
@@ -80,6 +88,14 @@ void usage() {
                                     first 20% is warmup)
   --threads W                       routing-phase worker threads (default 1;
                                     results are identical for every W)
+  --metrics PATH                    write the end-of-run metrics snapshot
+                                    (CSV when PATH ends in .csv, else JSON);
+                                    batch mode only
+  --trace PATH                      write a Chrome trace_event JSON of the
+                                    run (chrome://tracing / Perfetto);
+                                    batch mode only
+  --profile                         print the wall-clock engine phase
+                                    profile on stderr; batch mode only
   --help
 )";
 }
@@ -213,6 +229,12 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.save_path = value();
     } else if (arg == "--load") {
       opt.load_path = value();
+    } else if (arg == "--metrics") {
+      opt.metrics_path = value();
+    } else if (arg == "--trace") {
+      opt.trace_path = value();
+    } else if (arg == "--profile") {
+      opt.profile = true;
     } else if (arg == "--audit") {
       opt.audit = true;
     } else if (arg == "--csv") {
@@ -240,6 +262,15 @@ int main(int argc, char** argv) {
     if (!network) return 2;
 
     if (opt.inject_rate >= 0.0) {
+      // Steady-state mode constructs its engine inside
+      // measure_steady_state, so the observability flags have nothing to
+      // attach to; reject the combination instead of silently ignoring it.
+      if (!opt.metrics_path.empty() || !opt.trace_path.empty() ||
+          opt.profile) {
+        std::cerr << "error: --metrics/--trace/--profile are batch-mode "
+                     "flags and cannot be combined with --inject\n";
+        return 2;
+      }
       // Steady-state mode: continuous Bernoulli arrivals, no batch.
       auto policy = make_policy(opt, *network);
       const std::uint64_t warmup = opt.inject_steps / 5;
@@ -275,6 +306,7 @@ int main(int argc, char** argv) {
     config.max_steps = opt.max_steps;
     config.seed = opt.seed;
     config.num_threads = opt.threads;
+    config.profile = opt.profile;
     hp::sim::Engine engine(*network, problem, *policy, config);
 
     // Optional instrumentation.
@@ -302,7 +334,53 @@ int main(int argc, char** argv) {
     }
     if (opt.csv) engine.add_observer(&recorder);
 
+    // Observability: metrics registry and/or Chrome trace. Registered
+    // after the audit trackers so the Φ/B/F gauges read this step's
+    // tracker state.
+    hp::obs::MetricsRegistry registry;
+    std::unique_ptr<hp::obs::EngineMetrics> metrics;
+    if (!opt.metrics_path.empty()) {
+      metrics = std::make_unique<hp::obs::EngineMetrics>(registry);
+      if (potential) metrics->attach_potential(*potential);
+      if (surface) metrics->attach_surface(*surface);
+      engine.add_observer(metrics.get());
+    }
+    hp::obs::TraceRing ring(std::size_t{1} << 16);
+    std::unique_ptr<hp::obs::TraceObserver> tracer;
+    if (!opt.trace_path.empty()) {
+      tracer = std::make_unique<hp::obs::TraceObserver>(ring);
+      engine.add_observer(tracer.get());
+      if (opt.profile) {
+        // Opt-in wall-clock spans: the trace stops being deterministic.
+        engine.profiler()->set_trace_sink(&ring);
+      }
+    }
+
     const auto result = engine.run();
+
+    if (metrics) {
+      std::ofstream out(opt.metrics_path);
+      if (!out) {
+        throw hp::CheckError("cannot open " + opt.metrics_path);
+      }
+      const bool csv_out =
+          opt.metrics_path.size() >= 4 &&
+          opt.metrics_path.compare(opt.metrics_path.size() - 4, 4, ".csv") ==
+              0;
+      if (csv_out) {
+        registry.write_csv(out);
+      } else {
+        registry.write_json(out);
+      }
+    }
+    if (tracer) {
+      std::ofstream out(opt.trace_path);
+      if (!out) {
+        throw hp::CheckError("cannot open " + opt.trace_path);
+      }
+      hp::obs::write_chrome_trace(out, ring);
+    }
+    if (opt.profile) engine.profiler()->write_report(std::cerr);
 
     if (opt.csv) {
       recorder.write_csv(std::cout);

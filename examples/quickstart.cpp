@@ -10,6 +10,8 @@
 
 #include "core/bounds.hpp"
 #include "core/checkers.hpp"
+#include "obs/engine_metrics.hpp"
+#include "obs/metrics.hpp"
 #include "routing/restricted_priority.hpp"
 #include "sim/engine.hpp"
 #include "stats/recorder.hpp"
@@ -29,10 +31,14 @@ int main(int argc, char** argv) {
   // 2. The paper's algorithm class: greedy, restricted packets first.
   hp::routing::RestrictedPriorityPolicy policy;
 
-  // 3. Simulate, with the greediness checker watching every step.
+  // 3. Simulate, with the greediness checker watching every step and the
+  //    observability layer collecting distributions (docs/OBSERVABILITY.md).
   hp::sim::Engine engine(mesh, problem, policy);
   hp::core::GreedyChecker greedy_checker;
   engine.add_observer(&greedy_checker);
+  hp::obs::MetricsRegistry registry;
+  hp::obs::EngineMetrics metrics(registry);
+  engine.add_observer(&metrics);
   const hp::sim::RunResult result = engine.run();
 
   // 4. Report.
@@ -59,6 +65,17 @@ int main(int argc, char** argv) {
             << (greedy_checker.violations().empty() ? "verified"
                                                     : "VIOLATED")
             << " over " << greedy_checker.steps_checked() << " steps\n";
+
+  // 5. The same numbers, straight from the metrics registry: occupancy is
+  //    something the RunResult alone cannot give you.
+  const hp::obs::Distribution* occupancy =
+      registry.find_distribution("node.occupancy");
+  std::cout << "max occupancy    : " << occupancy->stat().max()
+            << " packets at one node (mean " << occupancy->stat().mean()
+            << ")\n"
+            << "bad-node steps   : "
+            << registry.counter("engine.bad_node_steps").value()
+            << " (node, step) pairs with more than 2 packets\n";
 
   return result.completed &&
                  static_cast<double>(result.steps) <= bound &&

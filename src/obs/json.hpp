@@ -1,0 +1,25 @@
+// Minimal JSON emission helpers shared by the observability writers
+// (metrics snapshots, Chrome trace events). Only what the writers need:
+// RFC 8259 string escaping and locale-independent number formatting, both
+// deterministic — the same values always produce the same bytes, which is
+// what lets the determinism tests fingerprint whole snapshot files.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace hp::obs {
+
+/// Escapes `s` for inclusion in a JSON string literal (the surrounding
+/// quotes are not added): `"` and `\` are backslash-escaped, control
+/// characters below 0x20 use the short forms (\n, \t, \r, \b, \f) or
+/// \u00XX. Bytes >= 0x80 pass through untouched, so the output is exactly
+/// as UTF-8-clean as the input.
+std::string json_escape(std::string_view s);
+
+/// Formats a double as a JSON number: shortest round-trip representation,
+/// no locale dependence. NaN and infinities have no JSON encoding and
+/// render as null.
+std::string json_number(double v);
+
+}  // namespace hp::obs

@@ -1,0 +1,99 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+
+namespace hp::obs {
+
+namespace {
+
+constexpr const char* kPhaseNames[kNumPhases] = {
+    "inject", "occupancy", "route", "apply", "observe"};
+
+std::uint64_t ns_between(std::chrono::steady_clock::time_point a,
+                         std::chrono::steady_clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+}  // namespace
+
+const char* phase_name(Phase p) {
+  const auto i = static_cast<std::size_t>(p);
+  HP_REQUIRE(i < kNumPhases, "phase out of range");
+  return kPhaseNames[i];
+}
+
+PhaseProfiler::PhaseProfiler() : origin_(Clock::now()) {}
+
+void PhaseProfiler::begin(Phase p) {
+  started_[static_cast<std::size_t>(p)] = Clock::now();
+}
+
+void PhaseProfiler::end(Phase p) {
+  const auto i = static_cast<std::size_t>(p);
+  const Clock::time_point now = Clock::now();
+  stats_[i].ns += ns_between(started_[i], now);
+  ++stats_[i].calls;
+  if (trace_ != nullptr) {
+    TraceEvent e;
+    e.name = kPhaseNames[i];
+    e.cat = "phase";
+    e.phase = 'X';
+    e.ts = ns_between(origin_, started_[i]) / 1000;
+    e.dur = ns_between(started_[i], now) / 1000;
+    trace_->push(e);
+  }
+}
+
+void PhaseProfiler::add_route_epoch(const std::uint64_t* shard_ns,
+                                    std::size_t shards) {
+  HP_REQUIRE(shards >= 1, "sharded epoch needs at least one shard");
+  if (shard_totals_.size() < shards) shard_totals_.resize(shards, 0);
+  std::uint64_t max_ns = 0;
+  std::uint64_t sum_ns = 0;
+  for (std::size_t w = 0; w < shards; ++w) {
+    shard_totals_[w] += shard_ns[w];
+    max_ns = std::max(max_ns, shard_ns[w]);
+    sum_ns += shard_ns[w];
+  }
+  const double mean =
+      static_cast<double>(sum_ns) / static_cast<double>(shards);
+  if (mean > 0.0) {
+    imbalance_sum_ += static_cast<double>(max_ns) / mean;
+    ++epochs_;
+  }
+}
+
+double PhaseProfiler::shard_imbalance() const {
+  return epochs_ == 0 ? 0.0
+                      : imbalance_sum_ / static_cast<double>(epochs_);
+}
+
+void PhaseProfiler::write_report(std::ostream& out) const {
+  std::uint64_t total_ns = 0;
+  for (const PhaseStat& s : stats_) total_ns += s.ns;
+  out << "engine phase profile (" << steps_ << " steps, "
+      << static_cast<double>(total_ns) / 1e6 << " ms accounted)\n";
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    const PhaseStat& s = stats_[i];
+    const double share =
+        total_ns == 0 ? 0.0
+                      : 100.0 * static_cast<double>(s.ns) /
+                            static_cast<double>(total_ns);
+    const double per_step =
+        steps_ == 0 ? 0.0
+                    : static_cast<double>(s.ns) / static_cast<double>(steps_);
+    out << "  " << kPhaseNames[i] << ": " << s.ns << " ns (" << share
+        << "%), " << s.calls << " calls, " << per_step << " ns/step\n";
+  }
+  if (epochs_ > 0) {
+    out << "  route shards: " << shard_totals_.size() << " used over "
+        << epochs_ << " sharded epochs, imbalance (max/mean) "
+        << shard_imbalance() << "\n";
+  }
+}
+
+}  // namespace hp::obs

@@ -1,7 +1,9 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 
+#include "obs/profiler.hpp"
 #include "util/check.hpp"
 
 #ifdef HP_AUDIT
@@ -121,6 +123,8 @@ Engine::Engine(const net::Network& net, const workload::Problem& problem,
 
   problem.validate(net);
   inject(problem);
+
+  if (config_.profile) profiler_ = std::make_unique<obs::PhaseProfiler>();
 
 #ifdef HP_AUDIT
   if (policy.claims_greedy() || policy.claims_restricted_preference()) {
@@ -347,6 +351,7 @@ void Engine::route_all() {
   // serial phase may clear the buffers without the lock.
   if (shard_bufs_.size() < shards) shard_bufs_.resize(shards);
   for (std::size_t w = 0; w < shards; ++w) shard_bufs_[w].clear();
+  if (profiler_ != nullptr) shard_route_ns_.assign(shards, 0);
 
   std::exception_ptr failure;
   {
@@ -370,6 +375,9 @@ void Engine::route_all() {
     }
   }
   if (failure) std::rethrow_exception(failure);
+  if (profiler_ != nullptr) {
+    profiler_->add_route_epoch(shard_route_ns_.data(), shards);
+  }
   // Concatenate per-shard buffers in shard order: the result is the same
   // sequence a serial traversal of occupied_ produces.
   for (std::size_t w = 0; w < shards; ++w) {
@@ -420,7 +428,18 @@ void Engine::worker_loop(std::size_t worker_index) {
     if (has_work) {
       std::exception_ptr error;
       try {
-        route_range(range.begin, range.end, shard_bufs_[worker_index]);
+        if (profiler_ != nullptr) {
+          // shard_route_ns_[worker_index] is shard-confined, like the
+          // assignment buffer the same worker fills right next to it.
+          const auto t0 = std::chrono::steady_clock::now();
+          route_range(range.begin, range.end, shard_bufs_[worker_index]);
+          shard_route_ns_[worker_index] = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count());
+        } else {
+          route_range(range.begin, range.end, shard_bufs_[worker_index]);
+        }
       } catch (...) {
         error = std::current_exception();
       }
@@ -462,15 +481,25 @@ bool Engine::step() {
 
   assignments_.clear();
   step_arrivals_.clear();
-  build_occupancy();
+  {
+    obs::PhaseScope scope(profiler_.get(), obs::Phase::kOccupancy);
+    build_occupancy();
+  }
   if (injector_ != nullptr) {
+    obs::PhaseScope scope(profiler_.get(), obs::Phase::kInject);
     injecting_now_ = true;
     injector_->inject(*this, now_);
     injecting_now_ = false;
   }
 
-  route_all();
-  apply_assignments();
+  {
+    obs::PhaseScope scope(profiler_.get(), obs::Phase::kRoute);
+    route_all();
+  }
+  {
+    obs::PhaseScope scope(profiler_.get(), obs::Phase::kApply);
+    apply_assignments();
+  }
 
   ++now_;
 
@@ -479,9 +508,13 @@ bool Engine::step() {
   record.assignments = assignments_;
   record.arrivals = step_arrivals_;
   record.in_flight_after = flight_.size();
-  for (StepObserver* obs : observers_) {
-    obs->on_step(*this, record);
+  {
+    obs::PhaseScope scope(profiler_.get(), obs::Phase::kObserve);
+    for (StepObserver* obs : observers_) {
+      obs->on_step(*this, record);
+    }
   }
+  if (profiler_ != nullptr) profiler_->note_step();
 
   if (config_.detect_livelock && policy_.deterministic() &&
       injector_ == nullptr && !flight_.empty()) {

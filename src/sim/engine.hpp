@@ -45,6 +45,10 @@
 #include "util/thread_annotations.hpp"
 #include "workload/workload.hpp"
 
+namespace hp::obs {
+class PhaseProfiler;
+}
+
 namespace hp::sim {
 
 struct EngineConfig {
@@ -65,6 +69,11 @@ struct EngineConfig {
   /// the archive would grow without limit; observers still see every
   /// arrival record via StepRecord::arrivals.
   bool archive_arrivals = true;
+  /// Wall-clock phase profiling (obs::PhaseProfiler): per-step timings of
+  /// the inject/occupancy/route/apply/observe phases plus per-shard
+  /// routing times. Off by default; when off the engine holds no profiler
+  /// and each phase bracket costs one null test.
+  bool profile = false;
 };
 
 /// Outcome of a complete run.
@@ -163,6 +172,12 @@ class Engine {
   /// Ids of the packets currently at `node`, ascending.
   std::vector<PacketId> packets_at(net::NodeId node) const;
 
+  /// Phase profiler, present iff EngineConfig::profile. Wall-clock data:
+  /// report-only, never part of a deterministic artifact unless the
+  /// caller explicitly attaches it as a trace sink.
+  obs::PhaseProfiler* profiler() { return profiler_.get(); }
+  const obs::PhaseProfiler* profiler() const { return profiler_.get(); }
+
  private:
   /// Residents of one node in one step; bounded by the node degree.
   using Bucket = InlineVector<PacketId, 2 * net::kMaxDim>;
@@ -227,6 +242,9 @@ class Engine {
   };
   std::vector<ShardRange> shard_ranges_ HP_GUARDED_BY(pool_mu_);
   std::vector<std::vector<Assignment>> shard_bufs_;  // shard-confined
+  /// Routing wall-ns of the last epoch, one entry per shard. Shard-confined
+  /// exactly like shard_bufs_ and only written when profiling is on.
+  std::vector<std::uint64_t> shard_route_ns_;  // shard-confined
   std::vector<std::exception_ptr> shard_errors_ HP_GUARDED_BY(pool_mu_);
   std::vector<std::thread> workers_;
   util::Mutex pool_mu_;
@@ -239,6 +257,8 @@ class Engine {
   bool pool_stop_ HP_GUARDED_BY(pool_mu_) = false;
 
   LivelockDetector livelock_;
+  /// Present iff config_.profile (see EngineConfig::profile).
+  std::unique_ptr<obs::PhaseProfiler> profiler_;
   /// HP_AUDIT builds: engine-owned checker that re-verifies the policy's
   /// Definition 6 / Definition 18 claims every step (null otherwise).
   std::unique_ptr<StepObserver> audit_;

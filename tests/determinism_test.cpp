@@ -10,8 +10,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
+#include "obs/engine_metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "routing/ddim_priority.hpp"
 #include "routing/greedy_variants.hpp"
 #include "routing/restricted_priority.hpp"
@@ -198,6 +203,86 @@ TEST(Determinism, InjectedRunsReproduceAcrossThreadCounts) {
     EXPECT_EQ(outcomes[i].digest, outcomes[0].digest);
   }
   EXPECT_GT(outcomes[0].delivered, 0u);
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+struct ObsArtifacts {
+  std::string metrics_json;
+  std::string metrics_csv;
+  std::string trace_json;
+};
+
+/// The issue's acceptance scenario: a saturated 32×32 mesh (4 packets per
+/// node) with the full observability stack attached. Every artifact must
+/// be a pure function of (workload, policy, seed) — not of the thread
+/// count and not of the rerun.
+ObsArtifacts run_observed(int num_threads) {
+  net::Mesh mesh(2, 32);
+  Rng rng(909);
+  auto problem = workload::saturated_random(mesh, 4, rng);
+  routing::RestrictedPriorityPolicy policy;
+  sim::EngineConfig config;
+  config.seed = 11;
+  config.num_threads = num_threads;
+  sim::Engine engine(mesh, problem, policy, config);
+
+  obs::MetricsRegistry registry;
+  obs::EngineMetrics metrics(registry);
+  obs::TraceRing ring(std::size_t{1} << 16);
+  obs::TraceObserver tracer(ring);
+  engine.add_observer(&metrics);
+  engine.add_observer(&tracer);
+  const auto result = engine.run();
+  EXPECT_TRUE(result.completed);
+
+  ObsArtifacts artifacts;
+  std::ostringstream json, csv, trace;
+  registry.write_json(json);
+  registry.write_csv(csv);
+  obs::write_chrome_trace(trace, ring);
+  artifacts.metrics_json = json.str();
+  artifacts.metrics_csv = csv.str();
+  artifacts.trace_json = trace.str();
+  return artifacts;
+}
+
+TEST(ObsDeterminism, SnapshotsAreThreadCountInvariant) {
+  const ObsArtifacts serial = run_observed(1);
+  for (int threads : {2, 4}) {
+    const ObsArtifacts sharded = run_observed(threads);
+    EXPECT_EQ(sharded.metrics_json, serial.metrics_json)
+        << "threads=" << threads;
+    EXPECT_EQ(sharded.metrics_csv, serial.metrics_csv)
+        << "threads=" << threads;
+    EXPECT_EQ(sharded.trace_json, serial.trace_json)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ObsDeterminism, SnapshotsReproduceAcrossReruns) {
+  const ObsArtifacts first = run_observed(1);
+  const ObsArtifacts second = run_observed(1);
+  EXPECT_EQ(first.metrics_json, second.metrics_json);
+  EXPECT_EQ(first.metrics_csv, second.metrics_csv);
+  EXPECT_EQ(first.trace_json, second.trace_json);
+}
+
+TEST(ObsDeterminism, MetricsFingerprintIsGolden) {
+  // Golden byte-level fingerprints of the full artifacts, captured at the
+  // introduction of the observability layer: any formatting or metric
+  // drift (renamed keys, number formatting, event ordering) trips this
+  // even if the run itself is unchanged.
+  const ObsArtifacts artifacts = run_observed(1);
+  EXPECT_EQ(fnv1a(artifacts.metrics_json), 0x94760f39c3cf7771ULL);
+  EXPECT_EQ(fnv1a(artifacts.trace_json), 0xd981f3cc01342e70ULL);
 }
 
 }  // namespace

@@ -8,11 +8,20 @@
 // * Exhaustive small-mesh checks: every single-packet instance routes in
 //   exactly its distance; every two-packet shared-origin instance on the
 //   3×3 mesh satisfies Theorem 20 and the Property 8 audit.
+// * Observability writers — random-string JSON escaping, trace-ring
+//   wraparound against a deque reference model, histogram edge bins.
 #include <gtest/gtest.h>
+
+#include <deque>
+#include <sstream>
+#include <string>
 
 #include "core/bounds.hpp"
 #include "core/checkers.hpp"
 #include "core/potential.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "routing/restricted_priority.hpp"
 #include "sim/engine.hpp"
 #include "test_support.hpp"
@@ -149,6 +158,123 @@ TEST(Exhaustive, AllTwoPacketSharedOriginInstancesAuditClean) {
           << "d1=" << d1 << " d2=" << d2;
     }
   }
+}
+
+/// Inverse of obs::json_escape for the escapes it emits; the fuzz test
+/// checks escape→unescape is the identity on arbitrary byte strings.
+std::string json_unescape(const std::string& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out.push_back(s[i]);
+      continue;
+    }
+    ++i;
+    switch (s.at(i)) {
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 't':
+        out.push_back('\t');
+        break;
+      case 'r':
+        out.push_back('\r');
+        break;
+      case 'b':
+        out.push_back('\b');
+        break;
+      case 'f':
+        out.push_back('\f');
+        break;
+      case '"':
+        out.push_back('"');
+        break;
+      case '\\':
+        out.push_back('\\');
+        break;
+      case 'u': {
+        const int code = std::stoi(s.substr(i + 1, 4), nullptr, 16);
+        out.push_back(static_cast<char>(code));
+        i += 4;
+        break;
+      }
+      default:
+        ADD_FAILURE() << "unknown escape \\" << s[i];
+    }
+  }
+  return out;
+}
+
+TEST_P(FuzzSweep, JsonEscapeRoundTripsArbitraryBytes) {
+  Rng rng(GetParam() * 97 + 5);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::string input;
+    const std::size_t len = rng.uniform(64);
+    for (std::size_t i = 0; i < len; ++i) {
+      input.push_back(static_cast<char>(rng.uniform(256)));
+    }
+    const std::string escaped = obs::json_escape(input);
+    // The escaped form is safe to embed in a JSON string literal: no raw
+    // control bytes, and every quote sits behind a backslash.
+    bool backslash = false;
+    for (char c : escaped) {
+      EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+      if (!backslash) {
+        EXPECT_NE(c, '"');
+      }
+      backslash = !backslash && c == '\\';
+    }
+    EXPECT_EQ(json_unescape(escaped), input);
+  }
+}
+
+TEST_P(FuzzSweep, TraceRingMatchesDequeModel) {
+  Rng rng(GetParam() * 131 + 7);
+  const std::size_t capacity = 1 + rng.uniform(16);
+  obs::TraceRing ring(capacity);
+  std::deque<std::uint64_t> model;  // retained timestamps, oldest first
+  std::uint64_t pushed = 0;
+  std::uint64_t dropped = 0;
+  for (int op = 0; op < 400; ++op) {
+    if (rng.uniform(50) == 0) {
+      ring.clear();
+      model.clear();
+      dropped = 0;
+      continue;
+    }
+    obs::TraceEvent e;
+    e.ts = pushed++;
+    ring.push(e);
+    model.push_back(e.ts);
+    if (model.size() > capacity) {
+      model.pop_front();
+      ++dropped;
+    }
+    ASSERT_EQ(ring.size(), model.size());
+    ASSERT_EQ(ring.dropped(), dropped);
+  }
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    EXPECT_EQ(ring.at(i).ts, model[i]);
+  }
+}
+
+TEST(ObsFuzz, DistributionEdgeBinsClampOutOfRangeSamples) {
+  obs::MetricsRegistry registry;
+  obs::Distribution& d = registry.distribution("edge", 0.0, 10.0, 5);
+  d.add(-1e18);  // far below lo: first bin
+  d.add(0.0);    // exactly lo: first bin
+  d.add(9.999);  // inside: last bin
+  d.add(10.0);   // exactly hi: clamps to last bin
+  d.add(1e18);   // far above hi: last bin
+  EXPECT_EQ(d.histogram().bin_count(0), 2u);
+  EXPECT_EQ(d.histogram().bin_count(4), 3u);
+  EXPECT_EQ(d.stat().count(), 5u);
+  EXPECT_DOUBLE_EQ(d.stat().min(), -1e18);
+  EXPECT_DOUBLE_EQ(d.stat().max(), 1e18);
+  // The snapshot serializes the extremes exactly (shortest round-trip).
+  std::ostringstream out;
+  registry.write_json(out);
+  EXPECT_NE(out.str().find("1e+18"), std::string::npos);
 }
 
 TEST(Exhaustive, AllCornerPairInstancesOnTinyMesh) {

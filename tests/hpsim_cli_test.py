@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""CLI tests for hpsim's observability flags.
+
+Covers what the C++ suites cannot: flag parsing, the output-file round
+trip (the emitted metrics/trace files parse as JSON and carry the schema
+the docs promise), rejection of conflicting flags, and byte-identical
+artifacts across --threads values.
+
+Usage: hpsim_cli_test.py /path/to/hpsim
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+FAILURES = []
+
+
+def check(name, ok, detail=""):
+    status = "ok" if ok else "FAIL"
+    print(f"  {status}: {name}" + (f" — {detail}" if detail and not ok else ""))
+    if not ok:
+        FAILURES.append(name)
+
+
+def run(hpsim, *args, cwd=None):
+    return subprocess.run(
+        [hpsim, *args], cwd=cwd, capture_output=True, text=True, timeout=300
+    )
+
+
+def batch_args(*extra):
+    return [
+        "--topology", "mesh", "--n", "8", "--workload", "saturated",
+        "--policy", "restricted", "--seed", "3", *extra,
+    ]
+
+
+def test_metrics_and_trace_roundtrip(hpsim, tmp):
+    metrics = tmp / "run.metrics.json"
+    trace = tmp / "run.trace.json"
+    proc = run(hpsim, *batch_args("--metrics", str(metrics),
+                                  "--trace", str(trace), "--profile"))
+    check("batch run exits 0", proc.returncode == 0, proc.stderr)
+    check("profile report on stderr", "engine phase profile" in proc.stderr)
+
+    doc = json.loads(metrics.read_text())
+    check("metrics schema", doc.get("schema") == "hp-metrics-v1")
+    check("metrics counters present",
+          {"engine.steps", "packets.delivered"} <= set(doc.get("counters", {})))
+    check("metrics distributions present",
+          "packet.latency" in doc.get("distributions", {}))
+    lat = doc["distributions"]["packet.latency"]
+    check("latency bins populated", sum(lat["bins"]) == lat["count"])
+
+    tdoc = json.loads(trace.read_text())
+    check("trace has events", len(tdoc.get("traceEvents", [])) > 0)
+    phases = {e.get("ph") for e in tdoc["traceEvents"]}
+    check("trace has spans and counters", {"X", "C"} <= phases)
+
+
+def test_metrics_csv_roundtrip(hpsim, tmp):
+    csv_path = tmp / "run.metrics.csv"
+    proc = run(hpsim, *batch_args("--metrics", str(csv_path)))
+    check("csv run exits 0", proc.returncode == 0, proc.stderr)
+    lines = csv_path.read_text().splitlines()
+    check("csv header",
+          lines and lines[0] == "kind,name,value,count,mean,min,max,sum")
+    check("csv has rows", len(lines) > 1)
+
+
+def test_thread_count_invariance(hpsim, tmp):
+    artifacts = []
+    for threads in ("1", "4"):
+        metrics = tmp / f"t{threads}.metrics.json"
+        trace = tmp / f"t{threads}.trace.json"
+        proc = run(hpsim, *batch_args("--threads", threads,
+                                      "--metrics", str(metrics),
+                                      "--trace", str(trace)))
+        check(f"threads={threads} run exits 0", proc.returncode == 0,
+              proc.stderr)
+        artifacts.append((metrics.read_bytes(), trace.read_bytes()))
+    check("metrics bytes identical across threads",
+          artifacts[0][0] == artifacts[1][0])
+    check("trace bytes identical across threads",
+          artifacts[0][1] == artifacts[1][1])
+
+
+def test_conflicting_flags(hpsim, tmp):
+    for flag in (["--metrics", str(tmp / "x.json")],
+                 ["--trace", str(tmp / "x.trace")],
+                 ["--profile"]):
+        proc = run(hpsim, "--inject", "0.01", "--inject-steps", "50", *flag)
+        check(f"--inject rejects {flag[0]}", proc.returncode == 2,
+              f"exit={proc.returncode}")
+        check(f"{flag[0]} conflict names the flags",
+              "--inject" in proc.stderr)
+
+
+def test_missing_values(hpsim):
+    for flag in ("--metrics", "--trace"):
+        proc = run(hpsim, flag)
+        check(f"{flag} without value exits 2", proc.returncode == 2,
+              f"exit={proc.returncode}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: hpsim_cli_test.py /path/to/hpsim", file=sys.stderr)
+        return 2
+    hpsim = sys.argv[1]
+    with tempfile.TemporaryDirectory() as tmpdir:
+        tmp = pathlib.Path(tmpdir)
+        test_metrics_and_trace_roundtrip(hpsim, tmp)
+        test_metrics_csv_roundtrip(hpsim, tmp)
+        test_thread_count_invariance(hpsim, tmp)
+        test_conflicting_flags(hpsim, tmp)
+        test_missing_values(hpsim)
+    if FAILURES:
+        print(f"{len(FAILURES)} failure(s): {', '.join(FAILURES)}")
+        return 1
+    print("all hpsim CLI checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
