@@ -176,8 +176,12 @@ void write_engine_json() {
   bench::JsonReport report("hotpotato-bench-engine-v1");
   // Headline configuration for the flight-table refactor: n = 256 mesh,
   // k = n² permutation — big enough that per-step overhead dominates.
+  // The t1/t2/t4/t8 series is the phase-pipeline scaling-efficiency
+  // curve; CI asserts t4 ≥ t1 via bench_compare --scaling.
   measure_permutation(report, 256, 1);
+  measure_permutation(report, 256, 2);
   measure_permutation(report, 256, 4);
+  measure_permutation(report, 256, 8);
   measure_permutation(report, 64, 1);
   // Observer overhead: same n = 64 run with the metrics / trace observers
   // attached (the n = 64 off entry above is their baseline).

@@ -48,28 +48,31 @@ void PhaseProfiler::end(Phase p) {
   }
 }
 
-void PhaseProfiler::add_route_epoch(const std::uint64_t* shard_ns,
+void PhaseProfiler::add_shard_epoch(Phase p, const std::uint64_t* shard_ns,
                                     std::size_t shards) {
   HP_REQUIRE(shards >= 1, "sharded epoch needs at least one shard");
-  if (shard_totals_.size() < shards) shard_totals_.resize(shards, 0);
+  ShardPhaseStat& stat = shard_stats_[static_cast<std::size_t>(p)];
+  if (stat.totals.size() < shards) stat.totals.resize(shards, 0);
   std::uint64_t max_ns = 0;
   std::uint64_t sum_ns = 0;
   for (std::size_t w = 0; w < shards; ++w) {
-    shard_totals_[w] += shard_ns[w];
+    stat.totals[w] += shard_ns[w];
     max_ns = std::max(max_ns, shard_ns[w]);
     sum_ns += shard_ns[w];
   }
   const double mean =
       static_cast<double>(sum_ns) / static_cast<double>(shards);
   if (mean > 0.0) {
-    imbalance_sum_ += static_cast<double>(max_ns) / mean;
-    ++epochs_;
+    stat.imbalance_sum += static_cast<double>(max_ns) / mean;
+    ++stat.epochs;
   }
 }
 
-double PhaseProfiler::shard_imbalance() const {
-  return epochs_ == 0 ? 0.0
-                      : imbalance_sum_ / static_cast<double>(epochs_);
+double PhaseProfiler::shard_imbalance(Phase p) const {
+  const ShardPhaseStat& stat = shard_stats_[static_cast<std::size_t>(p)];
+  return stat.epochs == 0
+             ? 0.0
+             : stat.imbalance_sum / static_cast<double>(stat.epochs);
 }
 
 void PhaseProfiler::write_report(std::ostream& out) const {
@@ -89,10 +92,12 @@ void PhaseProfiler::write_report(std::ostream& out) const {
     out << "  " << kPhaseNames[i] << ": " << s.ns << " ns (" << share
         << "%), " << s.calls << " calls, " << per_step << " ns/step\n";
   }
-  if (epochs_ > 0) {
-    out << "  route shards: " << shard_totals_.size() << " used over "
-        << epochs_ << " sharded epochs, imbalance (max/mean) "
-        << shard_imbalance() << "\n";
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    const ShardPhaseStat& s = shard_stats_[i];
+    if (s.epochs == 0) continue;
+    out << "  " << kPhaseNames[i] << " shards: " << s.totals.size()
+        << " used over " << s.epochs << " sharded epochs, imbalance "
+        << "(max/mean) " << shard_imbalance(static_cast<Phase>(i)) << "\n";
   }
 }
 

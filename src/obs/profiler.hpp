@@ -44,25 +44,45 @@ class PhaseProfiler {
 
   PhaseProfiler();
 
+  /// Per-shard accumulation of one phase's sharded epochs (occupancy,
+  /// route, and apply all fan out in the phase-pipeline engine).
+  struct ShardPhaseStat {
+    std::uint64_t epochs = 0;
+    double imbalance_sum = 0.0;
+    /// Cumulative ns per task index (empty when the phase never sharded).
+    std::vector<std::uint64_t> totals;
+  };
+
   void begin(Phase p);
   void end(Phase p);
   void note_step() { ++steps_; }
 
-  /// One sharded routing epoch: per-shard wall times for the shards that
-  /// ran. Accumulates per-shard totals and the imbalance estimate.
-  void add_route_epoch(const std::uint64_t* shard_ns, std::size_t shards);
+  /// One sharded epoch of phase `p`: per-task wall times for the tasks
+  /// that ran. Accumulates per-task totals and the imbalance estimate.
+  void add_shard_epoch(Phase p, const std::uint64_t* shard_ns,
+                       std::size_t shards);
+  /// Back-compat alias from the routing-only sharded engine.
+  void add_route_epoch(const std::uint64_t* shard_ns, std::size_t shards) {
+    add_shard_epoch(Phase::kRoute, shard_ns, shards);
+  }
 
   const PhaseStat& stat(Phase p) const {
     return stats_[static_cast<std::size_t>(p)];
   }
+  const ShardPhaseStat& shard_stat(Phase p) const {
+    return shard_stats_[static_cast<std::size_t>(p)];
+  }
   std::uint64_t steps() const { return steps_; }
-  std::uint64_t epochs() const { return epochs_; }
-  /// Mean over sharded epochs of (slowest shard / mean shard); 1.0 is a
-  /// perfectly balanced routing phase, 0 when no sharded epoch ran.
-  double shard_imbalance() const;
-  /// Cumulative routing ns per shard index (empty when never sharded).
+  /// Sharded-epoch count / balance of one phase. Imbalance is the mean
+  /// over epochs of (slowest task / mean task); 1.0 is perfectly balanced,
+  /// 0 when the phase never ran sharded.
+  std::uint64_t epochs(Phase p) const { return shard_stat(p).epochs; }
+  double shard_imbalance(Phase p) const;
+  // Route-phase shorthands, kept for the pre-pipeline call sites.
+  std::uint64_t epochs() const { return epochs(Phase::kRoute); }
+  double shard_imbalance() const { return shard_imbalance(Phase::kRoute); }
   const std::vector<std::uint64_t>& shard_totals() const {
-    return shard_totals_;
+    return shard_stat(Phase::kRoute).totals;
   }
 
   /// Human-readable per-phase table: ns totals, share of the accounted
@@ -78,12 +98,10 @@ class PhaseProfiler {
   using Clock = std::chrono::steady_clock;
 
   std::array<PhaseStat, kNumPhases> stats_{};
+  std::array<ShardPhaseStat, kNumPhases> shard_stats_{};
   std::array<Clock::time_point, kNumPhases> started_{};
   Clock::time_point origin_;
   std::uint64_t steps_ = 0;
-  std::uint64_t epochs_ = 0;
-  double imbalance_sum_ = 0.0;
-  std::vector<std::uint64_t> shard_totals_;
   TraceRing* trace_ = nullptr;
 };
 

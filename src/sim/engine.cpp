@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 
 #include "obs/profiler.hpp"
@@ -80,14 +81,34 @@ std::uint64_t node_stream_seed(std::uint64_t seed, std::uint64_t step,
 
 /// Inserts `id` into an id-sorted bucket. Buckets hold at most the node
 /// degree, so this is a handful of moves at worst.
-void sorted_insert(InlineVector<PacketId, 2 * net::kMaxDim>& bucket,
-                   PacketId id) {
+template <typename BucketT>
+void sorted_insert(BucketT& bucket, PacketId id) {
   bucket.push_back(id);
   std::size_t i = bucket.size() - 1;
   while (i > 0 && bucket[i - 1] > bucket[i]) {
     std::swap(bucket[i - 1], bucket[i]);
     --i;
   }
+}
+
+/// Occupancy-ownership shard count: a function of the node count ALONE.
+/// The owner-grouped occupied_ ordering depends on this value, so it must
+/// never vary with the thread count (or any other machine property) — one
+/// shard per 256 nodes keeps small determinism-corpus meshes on the exact
+/// legacy ordering while giving large networks enough owners to scale.
+std::size_t occupancy_shard_count(std::size_t num_nodes) {
+  return std::clamp<std::size_t>(num_nodes / 256, 1, 32);
+}
+
+/// Slot count below which the occupancy scatter/bucket fan-out costs more
+/// than it buys. Pure tuning: both paths produce the identical ordering.
+constexpr std::size_t kParallelOccupancyCutoff = 1024;
+
+std::uint64_t ns_since(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
 }
 
 }  // namespace
@@ -104,7 +125,8 @@ Engine::Engine(const net::Network& net, const workload::Problem& problem,
   archive_.set_keep_records(config_.archive_arrivals);
 
   num_dirs_ = net.num_dirs();
-  const auto n = net.num_nodes();
+  num_nodes_ = net.num_nodes();
+  const auto n = num_nodes_;
   degree_.resize(n);
   avail_dirs_.resize(n);
   neighbor_table_.resize(n * static_cast<std::size_t>(num_dirs_));
@@ -119,6 +141,12 @@ Engine::Engine(const net::Network& net, const workload::Problem& problem,
         ++degree_[v];
       }
     }
+  }
+
+  occ_shards_ = occupancy_shard_count(n);
+  if (occ_shards_ > 1) {
+    shards_.resize(occ_shards_);
+    scatter_.resize(occ_shards_ * occ_shards_);
   }
 
   problem.validate(net);
@@ -206,19 +234,194 @@ std::vector<PacketId> Engine::packets_at(net::NodeId node) const {
   return out;
 }
 
-void Engine::build_occupancy() {
-  occupied_.clear();
-  for (FlightTable::Slot s = 0; s < flight_.end_slot(); ++s) {
-    const net::NodeId node = flight_.pos(s);
-    const auto n = static_cast<std::size_t>(node);
-    if (node_stamp_[n] != now_) {
-      node_stamp_[n] = now_;
-      occupancy_[n].clear();
-      occupied_.push_back(node);
-    }
-    sorted_insert(occupancy_[n], flight_.id(s));
+// --- pool ------------------------------------------------------------------
+
+void Engine::start_pool() {
+  const auto threads = static_cast<std::size_t>(config_.num_threads);
+  barrier_ = std::make_unique<util::PhaseBarrier>(
+      static_cast<std::uint32_t>(threads - 1));
+  workers_.reserve(threads - 1);
+  for (std::size_t w = 0; w + 1 < threads; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
   }
 }
+
+void Engine::stop_pool() {
+  if (workers_.empty()) return;
+  barrier_->shutdown();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+void Engine::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const util::PhaseBarrier::Epoch e = barrier_->wait_open(seen);
+    seen = e.serial;
+    if (e.stop) return;
+    drain_tasks();
+    barrier_->leave();
+  }
+}
+
+void Engine::drain_tasks() {
+  const bool timed = profiler_ != nullptr;
+  for (;;) {
+    const std::uint32_t t = barrier_->next_task();
+    if (t == util::PhaseBarrier::kNoTask) return;
+    ShardState& shard = shards_[t];
+    try {
+      if (timed) {
+        const auto t0 = std::chrono::steady_clock::now();
+        run_task(task_kind_, t);
+        shard.ns = ns_since(t0);
+      } else {
+        run_task(task_kind_, t);
+      }
+    } catch (...) {
+      // Workers must not unwind out of worker_loop; the main thread
+      // rethrows the first error in task order after the epoch closes.
+      shard.error = std::current_exception();
+    }
+  }
+}
+
+void Engine::run_sharded(TaskKind kind, std::size_t count, std::size_t items,
+                         obs::Phase phase) {
+  task_kind_ = kind;
+  task_count_ = count;
+  task_items_ = items;
+  if (shards_.size() < count) shards_.resize(count);
+  if (barrier_ == nullptr || count <= 1) {
+    for (std::size_t t = 0; t < count; ++t) run_task(kind, t);
+    return;
+  }
+  for (std::size_t t = 0; t < count; ++t) {
+    shards_[t].error = nullptr;
+    shards_[t].ns = 0;
+  }
+  barrier_->open(static_cast<std::uint32_t>(count),
+                 static_cast<std::uint32_t>(kind));
+  drain_tasks();  // the main thread is a full participant
+  barrier_->close();
+  for (std::size_t t = 0; t < count; ++t) {
+    if (shards_[t].error) std::rethrow_exception(shards_[t].error);
+  }
+  if (profiler_ != nullptr) {
+    epoch_ns_.resize(count);
+    for (std::size_t t = 0; t < count; ++t) epoch_ns_[t] = shards_[t].ns;
+    profiler_->add_shard_epoch(phase, epoch_ns_.data(), count);
+  }
+}
+
+void Engine::run_task(TaskKind kind, std::size_t task) {
+  const std::size_t begin = task_items_ * task / task_count_;
+  const std::size_t end = task_items_ * (task + 1) / task_count_;
+  switch (kind) {
+    case TaskKind::kScan:
+      scan_slots(task, begin, end);
+      break;
+    case TaskKind::kBucket:
+      bucket_owner(task);
+      break;
+    case TaskKind::kGoodMask:
+      policy_.batch_good_dirs(net_, flight_.pos_data() + begin,
+                              flight_.dst_data() + begin,
+                              good_mask_.data() + begin, end - begin);
+      break;
+    case TaskKind::kRoute:
+      route_range(begin, end, shards_[task].route_buf);
+      break;
+    case TaskKind::kMove:
+      move_range(task, begin, end);
+      break;
+  }
+}
+
+std::size_t Engine::sub_tasks(std::size_t items, std::size_t grain) const {
+  if (barrier_ == nullptr || items < 2 * grain) return 1;
+  const auto threads = static_cast<std::size_t>(config_.num_threads);
+  return std::min({items / grain, 4 * threads, std::size_t{128}});
+}
+
+// --- occupancy -------------------------------------------------------------
+
+void Engine::scan_slots(std::size_t task, std::size_t begin,
+                        std::size_t end) {
+  const std::size_t row = task * occ_shards_;
+  for (std::size_t o = 0; o < occ_shards_; ++o) scatter_[row + o].clear();
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto s = static_cast<FlightTable::Slot>(i);
+    const net::NodeId node = flight_.pos(s);
+    scatter_[row + owner_of(node)].emplace_back(node, flight_.id(s));
+  }
+}
+
+void Engine::bucket_owner(std::size_t owner) {
+  ShardState& shard = shards_[owner];
+  shard.occ_nodes.clear();
+  // Rows in scan-task order, pairs in slot order within a row: the
+  // first-seen order below is the global slot order restricted to this
+  // owner's nodes — independent of how many scan tasks produced the rows.
+  for (std::size_t r = 0; r < occ_shards_; ++r) {
+    for (const auto& [node, id] : scatter_[r * occ_shards_ + owner]) {
+      const auto n = static_cast<std::size_t>(node);
+      if (node_stamp_[n] != now_) {
+        node_stamp_[n] = now_;
+        occupancy_[n].clear();
+        shard.occ_nodes.push_back(node);
+      }
+      sorted_insert(occupancy_[n], id);
+    }
+  }
+}
+
+void Engine::build_occupancy() {
+  occupied_.clear();
+  const std::size_t slots = flight_.size();
+  if (occ_shards_ == 1) {
+    // Single-owner networks keep the exact legacy ordering (first seen in
+    // slot order) — the determinism corpus pins this path byte-for-byte.
+    for (FlightTable::Slot s = 0; s < flight_.end_slot(); ++s) {
+      const net::NodeId node = flight_.pos(s);
+      const auto n = static_cast<std::size_t>(node);
+      if (node_stamp_[n] != now_) {
+        node_stamp_[n] = now_;
+        occupancy_[n].clear();
+        occupied_.push_back(node);
+      }
+      sorted_insert(occupancy_[n], flight_.id(s));
+    }
+    return;
+  }
+
+  if (barrier_ != nullptr && slots >= kParallelOccupancyCutoff) {
+    run_sharded(TaskKind::kScan, occ_shards_, slots, obs::Phase::kOccupancy);
+    run_sharded(TaskKind::kBucket, occ_shards_, occ_shards_,
+                obs::Phase::kOccupancy);
+  } else {
+    // Serial fallback producing the identical owner-grouped ordering.
+    for (std::size_t o = 0; o < occ_shards_; ++o) {
+      shards_[o].occ_nodes.clear();
+    }
+    for (FlightTable::Slot s = 0; s < flight_.end_slot(); ++s) {
+      const net::NodeId node = flight_.pos(s);
+      const auto n = static_cast<std::size_t>(node);
+      if (node_stamp_[n] != now_) {
+        node_stamp_[n] = now_;
+        occupancy_[n].clear();
+        shards_[owner_of(node)].occ_nodes.push_back(node);
+      }
+      sorted_insert(occupancy_[n], flight_.id(s));
+    }
+  }
+  for (std::size_t o = 0; o < occ_shards_; ++o) {
+    occupied_.insert(occupied_.end(), shards_[o].occ_nodes.begin(),
+                     shards_[o].occ_nodes.end());
+  }
+}
+
+// --- injection -------------------------------------------------------------
 
 void Engine::set_injector(Injector* injector) {
   HP_REQUIRE(injector != nullptr, "null injector");
@@ -264,6 +467,8 @@ bool Engine::try_inject(net::NodeId src, net::NodeId dst) {
   return true;
 }
 
+// --- routing ---------------------------------------------------------------
+
 void Engine::route_node(net::NodeId node, const Bucket& residents,
                         std::vector<Assignment>& out) {
   HP_CHECK(static_cast<int>(residents.size()) <=
@@ -281,9 +486,10 @@ void Engine::route_node(net::NodeId node, const Bucket& residents,
     v.id = id;
     v.dst = flight_.dst(s);
     v.entry_dir = flight_.entry_dir(s);
-    v.good = net_.good_dirs(node, v.dst);
-    HP_CHECK(!v.good.empty(),
+    v.good_mask = good_mask_[static_cast<std::size_t>(s)];
+    HP_CHECK(v.good_mask != 0,
              "packet with no good direction was not absorbed — engine bug");
+    v.good = net::dirlist_from_mask(v.good_mask);
     v.prev_advanced = flight_.prev_advanced(s);
     v.prev_num_good = flight_.prev_num_good(s);
     views.push_back(v);
@@ -317,9 +523,9 @@ void Engine::route_node(net::NodeId node, const Bucket& residents,
     a.pkt = residents[i];
     a.node = node;
     a.out = d;
-    a.advances = views[i].good.contains(d);
+    a.advances = (views[i].good_mask & bit) != 0;
     a.num_good = views[i].num_good();
-    for (net::Dir g : views[i].good) a.good_mask |= std::uint32_t{1} << g;
+    a.good_mask = views[i].good_mask;
     a.was_type_a = views[i].type_a();
     a.prev_advanced = views[i].prev_advanced;
     a.prev_num_good = views[i].prev_num_good;
@@ -336,122 +542,46 @@ void Engine::route_range(std::size_t begin, std::size_t end,
 }
 
 void Engine::route_all() {
+  // Good-direction masks for every in-flight packet, batched over the
+  // dense pos/dst columns (closed-form topology fast paths, no per-packet
+  // virtual call). Runs after injection so injected packets are covered.
+  const std::size_t slots = flight_.size();
+  good_mask_.resize(slots);
+  run_sharded(TaskKind::kGoodMask, sub_tasks(slots, 2048), slots,
+              obs::Phase::kRoute);
+
   const std::size_t m = occupied_.size();
-  const auto threads = static_cast<std::size_t>(config_.num_threads);
-  // Small steps are routed inline: sharding only buys wall-clock, never
-  // changes results, so the cutover point is a pure tuning knob.
-  if (threads <= 1 || m < 2 * threads) {
+  const std::size_t tasks = sub_tasks(m, 64);
+  if (tasks <= 1) {
+    // Inline routing: sharding only buys wall-clock, never changes
+    // results (per-task buffers concatenate to the serial sequence), so
+    // the cutover point is a pure tuning knob.
     route_range(0, m, assignments_);
     return;
   }
-
-  const std::size_t shards = std::min(threads, m);
-  // shard_bufs_ is shard-confined (see engine.hpp): the workers are
-  // quiescent here — the previous epoch's pending count reached 0 — so the
-  // serial phase may clear the buffers without the lock.
-  if (shard_bufs_.size() < shards) shard_bufs_.resize(shards);
-  for (std::size_t w = 0; w < shards; ++w) shard_bufs_[w].clear();
-  if (profiler_ != nullptr) shard_route_ns_.assign(shards, 0);
-
-  std::exception_ptr failure;
-  {
-    util::MutexLock lock(&pool_mu_);
-    shard_ranges_.assign(shards, {});
-    shard_errors_.assign(shards, nullptr);
-    for (std::size_t w = 0; w < shards; ++w) {
-      shard_ranges_[w].begin = m * w / shards;
-      shard_ranges_[w].end = m * (w + 1) / shards;
-    }
-    pool_active_shards_ = shards;
-    pool_pending_ = shards;
-    ++pool_epoch_;
-    pool_cv_.notify_all();
-    while (pool_pending_ != 0) done_cv_.wait(pool_mu_);
-    for (std::size_t w = 0; w < shards; ++w) {
-      if (shard_errors_[w]) {
-        failure = shard_errors_[w];
-        break;
-      }
-    }
-  }
-  if (failure) std::rethrow_exception(failure);
-  if (profiler_ != nullptr) {
-    profiler_->add_route_epoch(shard_route_ns_.data(), shards);
-  }
-  // Concatenate per-shard buffers in shard order: the result is the same
-  // sequence a serial traversal of occupied_ produces.
-  for (std::size_t w = 0; w < shards; ++w) {
-    assignments_.insert(assignments_.end(), shard_bufs_[w].begin(),
-                        shard_bufs_[w].end());
+  if (shards_.size() < tasks) shards_.resize(tasks);
+  for (std::size_t t = 0; t < tasks; ++t) shards_[t].route_buf.clear();
+  run_sharded(TaskKind::kRoute, tasks, m, obs::Phase::kRoute);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    assignments_.insert(assignments_.end(), shards_[t].route_buf.begin(),
+                        shards_[t].route_buf.end());
   }
 }
 
-void Engine::start_pool() {
-  const auto threads = static_cast<std::size_t>(config_.num_threads);
-  workers_.reserve(threads);
-  shard_bufs_.resize(threads);
-  for (std::size_t w = 0; w < threads; ++w) {
-    workers_.emplace_back([this, w] { worker_loop(w); });
-  }
-}
+// --- apply -----------------------------------------------------------------
 
-void Engine::stop_pool() {
-  if (workers_.empty()) return;
-  {
-    util::MutexLock lock(&pool_mu_);
-    pool_stop_ = true;
-    pool_cv_.notify_all();
-  }
-  for (std::thread& t : workers_) t.join();
-  workers_.clear();
-}
-
-void Engine::worker_loop(std::size_t worker_index) {
-  std::uint64_t seen_epoch = 0;
-  for (;;) {
-    ShardRange range;
-    bool has_work = false;
-    {
-      util::MutexLock lock(&pool_mu_);
-      // Explicit wait loop (not a predicate lambda): the analysis can see
-      // the guarded reads happen with pool_mu_ held.
-      while (!pool_stop_ && pool_epoch_ == seen_epoch) {
-        pool_cv_.wait(pool_mu_);
-      }
-      if (pool_stop_) return;
-      seen_epoch = pool_epoch_;
-      if (worker_index < pool_active_shards_) {
-        range = shard_ranges_[worker_index];
-        has_work = true;
-      }
-    }
-    if (has_work) {
-      std::exception_ptr error;
-      try {
-        if (profiler_ != nullptr) {
-          // shard_route_ns_[worker_index] is shard-confined, like the
-          // assignment buffer the same worker fills right next to it.
-          const auto t0 = std::chrono::steady_clock::now();
-          route_range(range.begin, range.end, shard_bufs_[worker_index]);
-          shard_route_ns_[worker_index] = static_cast<std::uint64_t>(
-              std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  std::chrono::steady_clock::now() - t0)
-                  .count());
-        } else {
-          route_range(range.begin, range.end, shard_bufs_[worker_index]);
-        }
-      } catch (...) {
-        error = std::current_exception();
-      }
-      util::MutexLock lock(&pool_mu_);
-      shard_errors_[worker_index] = error;
-      if (--pool_pending_ == 0) done_cv_.notify_one();
-    }
-  }
-}
-
-void Engine::apply_assignments() {
-  for (const Assignment& a : assignments_) {
+void Engine::move_range(std::size_t task, std::size_t begin,
+                        std::size_t end) {
+  // Every assignment addresses a distinct packet (the engine validates one
+  // arc per packet per node), so concurrent tasks write disjoint flight
+  // slots. Removal mutates the slot layout and therefore stays serial, in
+  // assignment order, back in apply_assignments().
+  ShardState& shard = shards_[task];
+  shard.arrivals.clear();
+  shard.advances = 0;
+  shard.deflections = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const Assignment& a = assignments_[i];
     const FlightTable::Slot s = flight_.slot_of(a.pkt);
     HP_CHECK(s != FlightTable::kNoSlot,
              "assignment for a packet that is not in flight");
@@ -462,11 +592,27 @@ void Engine::apply_assignments() {
     HP_CHECK(to != net::kInvalidNode, "movement off the network");
     flight_.move(s, to, a.out, a.advances, a.num_good);
     if (a.advances) {
-      ++total_advances_;
+      ++shard.advances;
     } else {
-      ++total_deflections_;
+      ++shard.deflections;
     }
-    if (to == flight_.dst(s)) {
+    if (to == flight_.dst(s)) shard.arrivals.push_back(a.pkt);
+  }
+}
+
+void Engine::apply_assignments() {
+  const std::size_t count = assignments_.size();
+  const std::size_t tasks = std::max<std::size_t>(sub_tasks(count, 2048), 1);
+  run_sharded(TaskKind::kMove, tasks, count, obs::Phase::kApply);
+  // Serial epilogue: totals, then arrival removal. Concatenating per-task
+  // arrival lists in task order reproduces assignment order exactly, so
+  // the swap-remove sequence — and with it every future slot layout — is
+  // identical to a serial apply.
+  for (std::size_t t = 0; t < tasks; ++t) {
+    total_advances_ += shards_[t].advances;
+    total_deflections_ += shards_[t].deflections;
+    for (const PacketId pkt : shards_[t].arrivals) {
+      const FlightTable::Slot s = flight_.slot_of(pkt);
       Packet record = flight_.remove(s, now_ + 1);
       last_arrival_ = now_ + 1;
       ++delivered_;
@@ -475,6 +621,8 @@ void Engine::apply_assignments() {
   }
   for (const Packet& p : step_arrivals_) archive_.append(p);
 }
+
+// --- step ------------------------------------------------------------------
 
 bool Engine::step() {
   if ((flight_.empty() && injector_ == nullptr) || livelocked_) return false;

@@ -15,21 +15,27 @@
 //     per-step loop walks the flight table only, so step cost is
 //     O(in-flight) — independent of how many packets have ever existed,
 //     which is what continuous-injection (steady-state) runs require.
-//   * Routing decisions at distinct nodes within a step are independent:
-//     each node draws from its own per-(seed, step, node) random stream
-//     and sees its residents in ascending packet-id order. The engine can
-//     therefore shard the occupied-node list across worker threads
-//     (EngineConfig::num_threads); per-shard assignment buffers are
-//     concatenated in shard order and applied serially, so every run is
-//     bit-for-bit identical for any thread count, including 1.
+//   * step() is a deterministic phase pipeline over a persistent worker
+//     pool (util::PhaseBarrier): occupancy scan/bucket, batched
+//     good-direction masks, routing, and the movement half of apply all
+//     run as sharded epochs, while injection, arrival removal and
+//     observation stay serial. Every partition boundary that can reach the
+//     output is a pure function of problem state — occupancy ownership is
+//     keyed by node id over a shard count fixed at construction, and every
+//     other fan-out concatenates per-task buffers in task order, which
+//     reproduces the serial sequence exactly. Work-stealing (barrier
+//     tickets) decides only *which thread* executes a task, never what the
+//     task produces, so runs are bit-for-bit identical for every
+//     EngineConfig::num_threads, including 1. DESIGN.md §5 has the full
+//     argument.
 //   * Observers receive per-step spans (see observer.hpp): no per-step
 //     copies, no references to the delivered-packet archive.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "sim/flight_table.hpp"
@@ -40,14 +46,14 @@
 #include "sim/policy.hpp"
 #include "topology/network.hpp"
 #include "util/inline_vector.hpp"
+#include "util/phase_barrier.hpp"
 #include "util/rng.hpp"
-#include "util/sync.hpp"
-#include "util/thread_annotations.hpp"
 #include "workload/workload.hpp"
 
 namespace hp::obs {
 class PhaseProfiler;
-}
+enum class Phase : int;
+}  // namespace hp::obs
 
 namespace hp::sim {
 
@@ -59,10 +65,12 @@ struct EngineConfig {
   /// Detect repeated configurations. Only treated as a livelock *proof*
   /// when the policy reports deterministic().
   bool detect_livelock = true;
-  /// Worker threads for the routing phase. 1 = fully serial. Results are
-  /// bit-for-bit identical for every value; threads only buy wall-clock.
-  /// Requires RoutingPolicy::route() to be safe to call concurrently for
-  /// distinct nodes (true for every stateless policy in this repo).
+  /// Total threads driving the phase pipeline (the calling thread
+  /// participates; num_threads - 1 workers are spawned). 1 = fully serial.
+  /// Results are bit-for-bit identical for every value; threads only buy
+  /// wall-clock. Requires RoutingPolicy::route() to be safe to call
+  /// concurrently for distinct nodes (true for every stateless policy in
+  /// this repo).
   int num_threads = 1;
   /// Keep full per-packet records of delivered packets (RunResult.packets,
   /// Engine::archive()). Turn off for unbounded steady-state runs, where
@@ -71,8 +79,8 @@ struct EngineConfig {
   bool archive_arrivals = true;
   /// Wall-clock phase profiling (obs::PhaseProfiler): per-step timings of
   /// the inject/occupancy/route/apply/observe phases plus per-shard
-  /// routing times. Off by default; when off the engine holds no profiler
-  /// and each phase bracket costs one null test.
+  /// times of every sharded epoch. Off by default; when off the engine
+  /// holds no profiler and each phase bracket costs one null test.
   bool profile = false;
 };
 
@@ -172,6 +180,11 @@ class Engine {
   /// Ids of the packets currently at `node`, ascending.
   std::vector<PacketId> packets_at(net::NodeId node) const;
 
+  /// Occupancy-ownership shards (fixed at construction from the node
+  /// count, never from the thread count — part of the determinism
+  /// contract; see DESIGN.md §5).
+  std::size_t occupancy_shards() const { return occ_shards_; }
+
   /// Phase profiler, present iff EngineConfig::profile. Wall-clock data:
   /// report-only, never part of a deterministic artifact unless the
   /// caller explicitly attaches it as a trace sink.
@@ -179,12 +192,39 @@ class Engine {
   const obs::PhaseProfiler* profiler() const { return profiler_.get(); }
 
  private:
-  /// Residents of one node in one step; bounded by the node degree.
-  using Bucket = InlineVector<PacketId, 2 * net::kMaxDim>;
+  /// Residents of one node in one step; bounded by the node degree. The
+  /// cache-line alignment keeps buckets of adjacent nodes — filled by
+  /// different owner shards at an ownership boundary — off shared lines.
+  using Bucket =
+      InlineVector<PacketId, 2 * net::kMaxDim, util::kCacheLineBytes>;
+
+  /// What one barrier epoch computes. Kinds and task *boundaries* are
+  /// chosen by the main thread before the epoch opens; tickets only pick
+  /// the executing thread.
+  enum class TaskKind : std::uint32_t {
+    kScan = 0,   ///< partition flight slots into per-owner scatter rows
+    kBucket,     ///< merge scatter columns into one owner's node buckets
+    kGoodMask,   ///< batched good-direction masks over flight columns
+    kRoute,      ///< route a contiguous range of occupied nodes
+    kMove,       ///< apply movement for a contiguous assignment range
+  };
+
+  /// Everything one task writes, on its own cache line(s). A task owns
+  /// exactly one ShardState between the epoch's open and close; the
+  /// barrier's release/acquire edges publish it back to the main thread.
+  struct alignas(util::kCacheLineBytes) ShardState {
+    std::vector<Assignment> route_buf;    ///< kRoute output
+    std::vector<net::NodeId> occ_nodes;   ///< kBucket output, first-seen order
+    std::vector<PacketId> arrivals;       ///< kMove: packets that arrived
+    std::uint64_t advances = 0;           ///< kMove counters
+    std::uint64_t deflections = 0;
+    std::uint64_t ns = 0;                 ///< task wall time (profiling only)
+    std::exception_ptr error;             ///< rethrown by the main thread
+  };
 
   void inject(const workload::Problem& problem);
   void build_occupancy();
-  void route_all() HP_EXCLUDES(pool_mu_);
+  void route_all();
   void route_range(std::size_t begin, std::size_t end,
                    std::vector<Assignment>& out);
   void route_node(net::NodeId node, const Bucket& residents,
@@ -192,10 +232,31 @@ class Engine {
   void apply_assignments();
   RunResult make_result();
 
-  // Worker-pool plumbing (only spun up when config_.num_threads > 1).
-  void start_pool() HP_EXCLUDES(pool_mu_);
-  void stop_pool() HP_EXCLUDES(pool_mu_);
-  void worker_loop(std::size_t worker_index) HP_EXCLUDES(pool_mu_);
+  // Phase-pipeline plumbing (pool only spun up when num_threads > 1).
+  void start_pool();
+  void stop_pool();
+  void worker_loop();
+  /// Runs tasks 0..count-1 of `kind` over `items` elements: inline when
+  /// serial, as one barrier epoch otherwise. Rethrows the first task
+  /// error (in task order) and feeds per-task times to the profiler.
+  void run_sharded(TaskKind kind, std::size_t count, std::size_t items,
+                   obs::Phase phase);
+  /// Claims and executes tickets of the current epoch until none remain.
+  void drain_tasks();
+  void run_task(TaskKind kind, std::size_t task);
+  void scan_slots(std::size_t task, std::size_t begin, std::size_t end);
+  void bucket_owner(std::size_t owner);
+  void move_range(std::size_t task, std::size_t begin, std::size_t end);
+
+  /// Owner shard of a node: contiguous node-id ranges over occ_shards_.
+  std::size_t owner_of(net::NodeId node) const {
+    return static_cast<std::size_t>(node) * occ_shards_ / num_nodes_;
+  }
+  /// Task count for an output-invariant fan-out (good masks, routing,
+  /// movement): enough tasks for the tickets to balance, never so many
+  /// that per-task overhead dominates. The count can depend on the thread
+  /// count because these concatenations are partition-invariant.
+  std::size_t sub_tasks(std::size_t items, std::size_t grain) const;
 
   const net::Network& net_;
   RoutingPolicy& policy_;
@@ -205,6 +266,7 @@ class Engine {
   // is immutable): they keep virtual neighbor()/arc_exists() calls out of
   // the per-step loops.
   int num_dirs_ = 0;
+  std::size_t num_nodes_ = 0;
   std::vector<int> degree_;
   std::vector<net::DirList> avail_dirs_;
   std::vector<net::NodeId> neighbor_table_;  // [node * num_dirs_ + dir]
@@ -223,38 +285,36 @@ class Engine {
 
   // Per-step scratch, kept as members to avoid reallocation.
   std::vector<Bucket> occupancy_;      // node -> resident packets, id order
-  std::vector<net::NodeId> occupied_;  // nodes with residents
+  std::vector<net::NodeId> occupied_;  // nodes with residents, owner-grouped
   std::vector<std::uint64_t> node_stamp_;  // occupancy freshness
   std::vector<Assignment> assignments_;
   std::vector<Packet> step_arrivals_;  // this step's arrival records
+  /// Good-direction bitmask per flight slot, batch-computed once per step
+  /// (policy_.batch_good_dirs over the dense pos/dst columns).
+  std::vector<std::uint32_t> good_mask_;
 
-  // Routing-phase shards. Everything the main thread and the workers
-  // exchange is guarded by pool_mu_ and certified by -Wthread-safety
-  // (docs/STATIC_ANALYSIS.md, layer 6). The exception is shard_bufs_:
-  // shard_bufs_[w] is *shard-confined* — written by worker w alone between
-  // the epoch publication and its pending-decrement, and read by the main
-  // thread only after pool_pending_ hits 0; the pool_mu_ handshake provides
-  // the happens-before edges, so per-element guarding would be both wrong
-  // (elements are accessed without the lock, by design) and uncheckable.
-  struct ShardRange {
-    std::size_t begin = 0;
-    std::size_t end = 0;
-  };
-  std::vector<ShardRange> shard_ranges_ HP_GUARDED_BY(pool_mu_);
-  std::vector<std::vector<Assignment>> shard_bufs_;  // shard-confined
-  /// Routing wall-ns of the last epoch, one entry per shard. Shard-confined
-  /// exactly like shard_bufs_ and only written when profiling is on.
-  std::vector<std::uint64_t> shard_route_ns_;  // shard-confined
-  std::vector<std::exception_ptr> shard_errors_ HP_GUARDED_BY(pool_mu_);
+  // Deterministic occupancy partition: fixed at construction, a function
+  // of the node count alone. occ_shards_ == 1 keeps the exact legacy
+  // occupied_ ordering on small networks.
+  std::size_t occ_shards_ = 1;
+
+  // Epoch state. task_kind_/task_count_/task_items_ are written by the
+  // main thread before PhaseBarrier::open and read by workers after its
+  // acquire edge; each ShardState and scatter_ row/column pair is owned by
+  // exactly one task per epoch (see phase_barrier.hpp for the
+  // happens-before argument, and tests/phase_barrier_test.cpp + the TSan
+  // CI job for the dynamic check).
+  TaskKind task_kind_ = TaskKind::kScan;
+  std::size_t task_count_ = 0;
+  std::size_t task_items_ = 0;
+  std::vector<ShardState> shards_;
+  /// scatter_[r * occ_shards_ + o]: (node, id) pairs of owner o found by
+  /// scan task r; written by task r, read by bucket task o next epoch.
+  std::vector<std::vector<std::pair<net::NodeId, PacketId>>> scatter_;
+  std::vector<std::uint64_t> epoch_ns_;  // profiler hand-off scratch
+
+  std::unique_ptr<util::PhaseBarrier> barrier_;
   std::vector<std::thread> workers_;
-  util::Mutex pool_mu_;
-  // condition_variable_any waits on util::Mutex directly (BasicLockable).
-  std::condition_variable_any pool_cv_;  // workers wait for a new epoch
-  std::condition_variable_any done_cv_;  // main waits for pending == 0
-  std::uint64_t pool_epoch_ HP_GUARDED_BY(pool_mu_) = 0;
-  std::size_t pool_pending_ HP_GUARDED_BY(pool_mu_) = 0;
-  std::size_t pool_active_shards_ HP_GUARDED_BY(pool_mu_) = 0;
-  bool pool_stop_ HP_GUARDED_BY(pool_mu_) = false;
 
   LivelockDetector livelock_;
   /// Present iff config_.profile (see EngineConfig::profile).

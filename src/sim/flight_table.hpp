@@ -50,6 +50,12 @@ class FlightTable {
   std::uint64_t deflections(Slot s) const { return deflections_[idx(s)]; }
   int initial_distance(Slot s) const { return initial_distance_[idx(s)]; }
 
+  /// Raw column bases for batch passes over slots [0, size()) — the
+  /// engine's good-direction evaluation streams these directly. Invalidated
+  /// by insert()/remove() like any slot.
+  const net::NodeId* pos_data() const { return pos_.data(); }
+  const net::NodeId* dst_data() const { return dst_.data(); }
+
   /// Slot currently holding packet `id`, or kNoSlot if the packet is not
   /// in flight (arrived, or never existed).
   Slot slot_of(PacketId id) const {

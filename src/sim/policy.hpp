@@ -27,6 +27,8 @@ struct PacketView {
   /// Good directions at this node (Definition 5). Empty never occurs:
   /// packets at their destination are absorbed before routing.
   net::DirList good;
+  /// Same set as `good`, as a bitmask (bit d ⇔ direction d is good).
+  std::uint32_t good_mask = 0;
   /// History bits for the Type A / Type B classification of §4.1.
   bool prev_advanced = false;
   int prev_num_good = -1;
@@ -82,6 +84,22 @@ class RoutingPolicy {
   virtual bool claims_greedy() const { return false; }
   /// Definition 18: a nonrestricted packet never deflects a restricted one.
   virtual bool claims_restricted_preference() const { return false; }
+
+  /// Batched good-direction masks for `count` packets: out_masks[i] gets
+  /// bit d set iff direction d is good for a packet at at[i] bound for
+  /// dst[i]. The engine calls this once per step over the dense flight
+  /// columns (possibly concurrently over disjoint ranges) and hands each
+  /// packet's mask back through PacketView::good_mask, so route() never
+  /// pays a per-packet virtual topology call. Override only to *redefine*
+  /// goodness (Definition 5); the default delegates to the topology's
+  /// closed-form batch evaluation and is what every policy in this repo
+  /// uses.
+  virtual void batch_good_dirs(const net::Network& net,
+                               const net::NodeId* at, const net::NodeId* dst,
+                               std::uint32_t* out_masks,
+                               std::size_t count) const {
+    net.good_masks(at, dst, out_masks, count);
+  }
 };
 
 }  // namespace hp::sim

@@ -40,6 +40,14 @@ bool Hypercube::is_good_dir(NodeId at, NodeId dst, Dir dir) const {
   return ((static_cast<std::uint32_t>(at ^ dst) >> dir) & 1u) != 0;
 }
 
+void Hypercube::good_masks(const NodeId* at, const NodeId* dst,
+                           std::uint32_t* out, std::size_t count) const {
+  const std::uint32_t all = (std::uint32_t{1} << dim_) - 1u;
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = static_cast<std::uint32_t>(at[i] ^ dst[i]) & all;
+  }
+}
+
 std::string Hypercube::name() const {
   std::ostringstream os;
   os << "hypercube-" << dim_ << "d";

@@ -37,6 +37,9 @@ class Mesh : public Network {
   DirList good_dirs(NodeId at, NodeId dst) const override;
   int num_good_dirs(NodeId at, NodeId dst) const override;
   bool is_good_dir(NodeId at, NodeId dst, Dir dir) const override;
+  std::uint32_t good_mask(NodeId at, NodeId dst) const override;
+  void good_masks(const NodeId* at, const NodeId* dst, std::uint32_t* out,
+                  std::size_t count) const override;
 
   int dim() const { return dim_; }
   int side() const { return side_; }

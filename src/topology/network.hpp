@@ -59,6 +59,19 @@ class Network {
   /// Number of good directions, without materializing the list.
   virtual int num_good_dirs(NodeId at, NodeId dst) const;
 
+  /// Good directions as a bitmask: bit d set iff direction d is good for a
+  /// packet at `at` bound for `dst`. Zero iff at == dst. The base version
+  /// probes directions like good_dirs(); topologies override it with
+  /// branchless closed forms.
+  virtual std::uint32_t good_mask(NodeId at, NodeId dst) const;
+
+  /// Batch form of good_mask() over parallel position/destination arrays —
+  /// the engine's once-per-step evaluation over the dense flight columns.
+  /// Overrides keep the per-element work branch-free so the loop
+  /// vectorizes; the base version just loops good_mask().
+  virtual void good_masks(const NodeId* at, const NodeId* dst,
+                          std::uint32_t* out, std::size_t count) const;
+
   /// True if direction `dir` is good for a packet at `at` headed to `dst`.
   virtual bool is_good_dir(NodeId at, NodeId dst, Dir dir) const;
 

@@ -18,8 +18,13 @@ namespace hp {
 /// A contiguous sequence with capacity fixed at compile time and size
 /// tracked at run time. Supports trivially-destructible and nontrivial T.
 /// Exceeding capacity is a checked error (throws hp::CheckError).
-template <typename T, std::size_t N>
+/// `Align` raises the storage alignment above T's natural one — the engine
+/// aligns per-node buckets to cache lines so adjacent nodes written by
+/// different shards never share a line.
+template <typename T, std::size_t N, std::size_t Align = alignof(T)>
 class InlineVector {
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "Align must be a power of two no weaker than alignof(T)");
  public:
   using value_type = T;
   using iterator = T*;
@@ -129,7 +134,7 @@ class InlineVector {
   }
 
  private:
-  alignas(T) std::array<std::byte, sizeof(T) * N> storage_;
+  alignas(Align) std::array<std::byte, sizeof(T) * N> storage_;
   std::size_t size_ = 0;
 };
 
