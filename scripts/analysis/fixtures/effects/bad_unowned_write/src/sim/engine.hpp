@@ -1,0 +1,62 @@
+// Fixture: minimal phase-pipeline engine for the phase-effects analyzer
+// self-tests (scripts/analysis/test_phase_effects.py). Sibling `bad_*`
+// case directories vary engine.cpp to seed exactly one contract
+// violation each; this header is byte-identical across all cases.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+// Stand-in for the util/thread_annotations.hpp marker; the fixtures are
+// parsed, never compiled, but the define keeps the corpus readable.
+#define HP_SHARED_WRITE(reason) static_assert(true, "")
+
+namespace hp::sim {
+
+// Stand-in for util::PhaseBarrier: same protocol surface, no atomics.
+class PhaseBarrier {
+ public:
+  void open(unsigned count, unsigned tag);
+  void close();
+  unsigned wait_open(unsigned seen);
+  void leave();
+  unsigned next_task();
+  void shutdown();
+};
+
+// Stand-in for the SoA flight table: one column plus a read/write method
+// pair whose per-column effect summaries the analyzer must infer.
+class FlightTable {
+ public:
+  int pos(std::size_t s) const { return pos_[s]; }
+  void move(std::size_t s, int to) { pos_[s] = to; }
+
+ private:
+  std::vector<int> pos_;
+};
+
+class Engine {
+ public:
+  enum class TaskKind : unsigned { kScan = 0, kRoute };
+
+  bool step();
+
+ private:
+  void run_sharded(TaskKind kind, std::size_t count, std::size_t items);
+  void drain_tasks();
+  void run_task(TaskKind kind, std::size_t task);
+  void scan_slots(std::size_t task, std::size_t begin, std::size_t end);
+  void route_range(std::size_t begin, std::size_t end);
+  void worker_loop();
+
+  FlightTable flight_;
+  std::vector<int> scratch_;
+  std::vector<int> out_;
+  std::size_t total_ = 0;
+  TaskKind task_kind_ = TaskKind::kScan;
+  std::size_t task_count_ = 0;
+  std::size_t task_items_ = 0;
+  PhaseBarrier barrier_;
+};
+
+}  // namespace hp::sim

@@ -91,6 +91,19 @@ RULES = {
         "StepObserver::on_step stores a span/record that dies with the "
         "call; copy what you keep (see sim/observer.hpp)"
     ),
+    "atomic-implicit-seqcst": (
+        "atomic operation relies on the implicit seq_cst default; spell "
+        "the std::memory_order explicitly so the synchronization protocol "
+        "is reviewable (see phase_barrier.hpp for the house style)"
+    ),
+    "volatile-qualifier": (
+        "volatile is not a synchronization primitive; use std::atomic "
+        "with an explicit order, or annotate the MMIO-style exception"
+    ),
+    "stale-allow": (
+        "hp-lint allow annotation no longer suppresses any finding; "
+        "delete it or move it back onto the offending line"
+    ),
 }
 
 ALLOW_RE = re.compile(r"//\s*hp-lint:\s*allow\(([a-z-]+)\)\s*(.*?)\s*(?:\*/)?\s*$")
@@ -132,6 +145,12 @@ def load_reachable_files(artifact_path: pathlib.Path) -> set[str] | None:
 
 def in_raw_random_scope(relpath: str) -> bool:
     return relpath.startswith("src/") and not relpath.startswith("src/util/rng.")
+
+
+def in_atomics_scope(relpath: str) -> bool:
+    # Tests may exercise implicit-order atomics on purpose (e.g. the barrier
+    # stress harness); the discipline applies to shipped engine code only.
+    return relpath.startswith("src/")
 
 
 @dataclasses.dataclass
@@ -230,6 +249,9 @@ class FileLinter:
         # call-graph verdict (prefix floor ∪ reachable set) when available.
         self.routing_scope = routing_scope
         self.findings: list[Finding] = []
+        # Lines (1-based) whose allow annotation suppressed a finding; the
+        # complement of this set drives the stale-allow rule.
+        self.used_allows: set[int] = set()
 
     # -- allow annotations ------------------------------------------------
     def allow_for(self, lineno: int, rule: str) -> bool:
@@ -249,6 +271,7 @@ class FileLinter:
             if 1 <= candidate <= len(self.raw_lines):
                 m = ALLOW_RE.search(self.raw_lines[candidate - 1])
                 if m and m.group(1) == rule:
+                    self.used_allows.add(candidate)
                     if not m.group(2):
                         self.findings.append(
                             Finding(
@@ -301,6 +324,19 @@ class FileLinter:
     RECORD_SPAN_RETAIN = re.compile(
         r"\w+_\s*=\s*record\s*\.\s*(?:assignments|arrivals)\b"
     )
+    ATOMIC_DECL = re.compile(
+        r"\b(?:std::)?atomic\s*<[^;{}]*>\s*&?\s+(\w+)\s*[;={,)[]"
+        r"|\b(?:std::)?atomic_flag\s+(\w+)\s*[;={,)[]"
+    )
+    # Member functions whose trailing memory_order argument defaults to
+    # seq_cst; notify_one/notify_all take no order and are exempt.
+    ATOMIC_ORDERED_METHODS = (
+        "load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
+        "fetch_xor|wait|test|test_and_set|clear|"
+        "compare_exchange_weak|compare_exchange_strong"
+    )
+    VOLATILE = re.compile(r"\bvolatile\b")
+    INLINE_ASM = re.compile(r"\basm\b|__asm")
 
     def lint(self) -> list[Finding]:
         routing = self.force or (
@@ -309,6 +345,7 @@ class FileLinter:
             else in_routing_scope(self.relpath)
         )
         raw_random = self.force or in_raw_random_scope(self.relpath)
+        atomics = self.force or in_atomics_scope(self.relpath)
         has_on_step = any("on_step" in line for line in self.code_lines)
 
         unordered_names: set[str] = set()
@@ -329,6 +366,50 @@ class FileLinter:
             if unordered_names
             else None
         )
+
+        atomic_names: set[str] = set()
+        atomic_decl_lines: set[int] = set()
+        if atomics:
+            for idx, line in enumerate(self.code_lines, start=1):
+                for m in self.ATOMIC_DECL.finditer(line):
+                    atomic_names.add(m.group(1) or m.group(2))
+                    atomic_decl_lines.add(idx)
+        names_alt = "|".join(map(re.escape, sorted(atomic_names)))
+        atomic_call = (
+            re.compile(
+                rf"\b(?:{names_alt})\s*\.\s*"
+                rf"(?:{self.ATOMIC_ORDERED_METHODS})\s*\("
+            )
+            if atomic_names
+            else None
+        )
+        atomic_op = (
+            re.compile(
+                rf"(?:\+\+|--)\s*(?:{names_alt})\b"
+                rf"|\b(?:{names_alt})\s*(?:\+\+|--)"
+                rf"|\b(?:{names_alt})\s*(?:[-+*/%&|^]|<<|>>)="
+                rf"|\b(?:{names_alt})\s*=(?!=)"
+            )
+            if atomic_names
+            else None
+        )
+
+        def call_extent(lineno: int, open_col: int) -> str:
+            """Text inside the (possibly multi-line) call starting at the
+            '(' at (lineno, open_col), up to its matching ')'."""
+            depth, out = 0, []
+            for j in range(lineno - 1, min(lineno + 4, len(self.code_lines))):
+                line = self.code_lines[j]
+                for ch in line[open_col if j == lineno - 1 else 0 :]:
+                    if ch == "(":
+                        depth += 1
+                    elif ch == ")":
+                        depth -= 1
+                        if depth == 0:
+                            return "".join(out)
+                    if depth >= 1:
+                        out.append(ch)
+            return "".join(out)
 
         for idx, line in enumerate(self.code_lines, start=1):
             if line.lstrip().startswith("#"):
@@ -354,12 +435,57 @@ class FileLinter:
                     self.flag(idx, "static-local", line.strip()[:80])
             if raw_random and self.RAW_RANDOM.search(line):
                 self.flag(idx, "raw-random", line.strip()[:80])
+            if atomics:
+                if self.VOLATILE.search(line) and not self.INLINE_ASM.search(
+                    line
+                ):
+                    self.flag(idx, "volatile-qualifier", line.strip()[:80])
+                implicit = False
+                if atomic_call:
+                    for m in atomic_call.finditer(line):
+                        if "memory_order" not in call_extent(idx, m.end() - 1):
+                            implicit = True
+                if (
+                    not implicit
+                    and atomic_op
+                    and idx not in atomic_decl_lines
+                    and atomic_op.search(line)
+                ):
+                    implicit = True
+                if implicit:
+                    self.flag(idx, "atomic-implicit-seqcst", line.strip()[:80])
             if has_on_step and (
                 self.RECORD_SPAN_RETAIN.search(line)
                 or self.RECORD_RETAIN.search(line)
                 or self.SPAN_MEMBER.search(line)
             ):
                 self.flag(idx, "span-retention", line.strip()[:80])
+
+        # stale-allow: any allow annotation that suppressed nothing above,
+        # restricted to rules actually in force for this file (an allow for
+        # a routing rule in non-routing code is dormant, not stale).
+        in_force: set[str] = set()
+        if routing:
+            in_force |= {
+                "unordered-member",
+                "unordered-iteration",
+                "pointer-order",
+                "static-local",
+            }
+        if raw_random:
+            in_force.add("raw-random")
+        if atomics:
+            in_force |= {"atomic-implicit-seqcst", "volatile-qualifier"}
+        if has_on_step:
+            in_force.add("span-retention")
+        for idx, raw in enumerate(self.raw_lines, start=1):
+            m = ALLOW_RE.search(raw)
+            if m and idx not in self.used_allows:
+                rule = m.group(1)
+                if rule in in_force or rule not in RULES:
+                    self.findings.append(
+                        Finding(self.relpath, idx, "stale-allow", f"allow({rule})")
+                    )
         return self.findings
 
 

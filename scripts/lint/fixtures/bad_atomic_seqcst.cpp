@@ -1,0 +1,55 @@
+// Fixture: atomic operations that lean on the implicit seq_cst default.
+// Every atomic op in shipped engine code must spell its std::memory_order
+// so the synchronization protocol is reviewable (phase_barrier.hpp is the
+// house style). Expected findings: atomic-implicit-seqcst (x7).
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+class Pool {
+ public:
+  void publish(std::uint32_t tag) {
+    // BAD: store() defaults to memory_order_seq_cst.
+    tag_.store(tag);
+    // BAD: fetch_add() defaults to memory_order_seq_cst.
+    epoch_.fetch_add(2);
+    // BAD: operator++ is a seq_cst read-modify-write.
+    tickets_++;
+    // BAD: so is the compound assignment form.
+    epoch_ |= 1;
+    // BAD: plain assignment is a seq_cst store in disguise.
+    active_ = 0;
+  }
+
+  std::uint32_t poll() const {
+    // BAD: load() defaults to memory_order_seq_cst.
+    return tag_.load();
+  }
+
+  bool try_lock() {
+    // BAD: test_and_set() defaults to memory_order_seq_cst.
+    return !busy_.test_and_set();
+  }
+
+  std::uint64_t snapshot() const {
+    // OK: explicit orders, including multi-line calls.
+    return epoch_.load(std::memory_order_acquire) +
+           tickets_.load(std::memory_order_relaxed);
+  }
+
+  void wake() {
+    // OK: notify has no memory_order parameter.
+    epoch_.notify_all();
+    active_.notify_one();
+  }
+
+ private:
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint32_t> tickets_{0};
+  std::atomic<std::uint32_t> active_{0};
+  std::atomic<std::uint32_t> tag_{0};
+  std::atomic_flag busy_ = ATOMIC_FLAG_INIT;
+};
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: allow annotations that no longer suppress anything. The first
+// survived a refactor that removed the container it excused; the second
+// names a rule that does not exist. A live allow (which suppresses a real
+// finding) must NOT be reported. Expected findings: stale-allow (x2).
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+class Tracker {
+ public:
+  std::size_t seen() const { return seen_.size(); }
+
+ private:
+  // BAD(stale): the unordered_map this excused became a sorted vector.
+  // hp-lint: allow(unordered-member) digest-keyed, never iterated
+  std::vector<std::uint64_t> seen_;
+
+  // BAD(stale): no such rule; this can never suppress anything.
+  // hp-lint: allow(unordered-chaos) keys are commutative digests
+  std::uint32_t salt_ = 0;
+
+  // OK(live): annotation still sits on a real unordered member.
+  // hp-lint: allow(unordered-member) lookup/insert only, never iterated
+  std::unordered_map<std::uint64_t, std::uint64_t> index_;
+};
+
+}  // namespace fixture

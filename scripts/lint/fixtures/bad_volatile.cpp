@@ -1,0 +1,27 @@
+// Fixture: volatile used as a (non-)synchronization primitive. volatile
+// suppresses compiler reordering only — it is neither atomic nor ordered —
+// so engine code must use std::atomic with an explicit memory_order.
+// Expected findings: volatile-qualifier (x2).
+#include <cstdint>
+
+namespace fixture {
+
+class Flags {
+ public:
+  void raise() { ready_ = true; }
+
+  std::uint32_t spins() const {
+    // OK: inline asm "volatile" is an asm qualifier, not the type
+    // qualifier this rule polices (cf. cpu_relax in phase_barrier.hpp).
+    asm volatile("" ::: "memory");
+    return count_;
+  }
+
+ private:
+  // BAD: volatile member posing as a cross-thread flag.
+  volatile bool ready_ = false;
+  // BAD: volatile local-ish counter; same story.
+  volatile std::uint32_t count_ = 0;
+};
+
+}  // namespace fixture

@@ -30,7 +30,11 @@ EXPECTED = {
     "bad_pointer_order.cpp": {"pointer-order": 3},
     "bad_static_local.cpp": {"static-local": 2},
     "bad_span_retention.cpp": {"span-retention": 3},
+    "bad_atomic_seqcst.cpp": {"atomic-implicit-seqcst": 7},
+    "bad_volatile.cpp": {"volatile-qualifier": 2},
+    "bad_stale_allow.cpp": {"stale-allow": 2},
     "good_allowlisted.cpp": {},
+    "good_atomics.cpp": {},
 }
 
 
@@ -102,7 +106,26 @@ class AllowAnnotations(unittest.TestCase):
             "std::unordered_map<int, int> m_;\n"
         )
         findings = self.lint_text(text)
-        self.assertEqual([f.rule for f in findings], ["unordered-member"])
+        # The member is still flagged, and the mismatched allow — which now
+        # suppresses nothing — is reported stale.
+        self.assertEqual(
+            [f.rule for f in findings], ["unordered-member", "stale-allow"]
+        )
+
+    def test_atomic_allow_with_reason_suppresses(self) -> None:
+        text = (
+            "std::atomic<int> hits_{0};\n"
+            "// hp-lint: allow(atomic-implicit-seqcst) cold path, seq_cst fine\n"
+            "void bump() { hits_.fetch_add(1); }\n"
+        )
+        self.assertEqual(self.lint_text(text), [])
+
+    def test_explicit_order_is_clean(self) -> None:
+        text = (
+            "std::atomic<int> hits_{0};\n"
+            "void bump() { hits_.fetch_add(1, std::memory_order_relaxed); }\n"
+        )
+        self.assertEqual(self.lint_text(text), [])
 
     def test_comment_contents_are_not_code(self) -> None:
         text = (

@@ -6,6 +6,7 @@
 
 #include "obs/profiler.hpp"
 #include "util/check.hpp"
+#include "util/thread_annotations.hpp"
 
 #ifdef HP_AUDIT
 #include <optional>
@@ -269,6 +270,7 @@ void Engine::drain_tasks() {
   for (;;) {
     const std::uint32_t t = barrier_->next_task();
     if (t == util::PhaseBarrier::kNoTask) return;
+    HP_SHARED_WRITE("barrier tickets give task t exactly one owner");
     ShardState& shard = shards_[t];
     try {
       if (timed) {
@@ -499,6 +501,7 @@ void Engine::route_node(net::NodeId node, const Bucket& residents,
   for (std::size_t i = 0; i < residents.size(); ++i) {
     dirs.push_back(net::kInvalidDir);
   }
+  HP_SHARED_WRITE("route() is concurrent-safe per the RoutingPolicy contract");
   policy_.route(ctx, std::span<const PacketView>(views.data(), views.size()),
                 std::span<net::Dir>(dirs.data(), dirs.size()));
 

@@ -41,3 +41,11 @@
 #define HP_RETURN_CAPABILITY(x) HP_THREAD_ANNOTATION(lock_returned(x))
 #define HP_NO_THREAD_SAFETY_ANALYSIS \
   HP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// Marker for the phase-effects analyzer (scripts/analysis/phase_effects.py):
+// placed on — or directly above — a statement in a *parallel* phase that
+// writes state the analyzer cannot prove owner-derived. The reason string is
+// mandatory and explains why the write is nonetheless safe (e.g. a barrier
+// ticket hands the slot exactly one owner). Compiles to nothing; the
+// statement form keeps it legal anywhere a statement is.
+#define HP_SHARED_WRITE(reason) static_assert(true, "")

@@ -1,0 +1,119 @@
+// Brute-force equivalence for PR 5's batched good-direction fast path:
+// `good_mask` / `good_masks` must agree bit-for-bit with the per-packet
+// `good_dirs` probe over randomized (position, destination) pairs on
+// meshes, tori, and hypercubes — including the at == dst empty case.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+#include "topology/network.hpp"
+#include "topology/types.hpp"
+#include "util/rng.hpp"
+
+namespace hp::net {
+namespace {
+
+std::uint32_t mask_from_dirs(const DirList& dirs) {
+  std::uint32_t mask = 0;
+  for (const Dir d : dirs) {
+    mask |= 1u << static_cast<unsigned>(d);
+  }
+  return mask;
+}
+
+// Draws `count` random pairs (plus a few forced at == dst pairs) and checks
+// every good-direction view of the topology against the good_dirs() probe:
+// the scalar mask, the batched masks, the popcount, the canonical
+// mask-to-list order, and the per-direction predicate.
+void expect_equivalence(const Network& net, std::uint64_t seed,
+                        std::size_t count) {
+  Rng rng(seed);
+  const auto n = static_cast<std::uint64_t>(net.num_nodes());
+  std::vector<NodeId> at(count);
+  std::vector<NodeId> dst(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    at[i] = static_cast<NodeId>(rng.uniform(n));
+    dst[i] = (i % 16 == 0) ? at[i] : static_cast<NodeId>(rng.uniform(n));
+  }
+
+  std::vector<std::uint32_t> batch(count);
+  net.good_masks(at.data(), dst.data(), batch.data(), count);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const DirList dirs = net.good_dirs(at[i], dst[i]);
+    const std::uint32_t ref = mask_from_dirs(dirs);
+    ASSERT_EQ(net.good_mask(at[i], dst[i]), ref)
+        << net.name() << " at=" << at[i] << " dst=" << dst[i];
+    ASSERT_EQ(batch[i], ref)
+        << net.name() << " at=" << at[i] << " dst=" << dst[i];
+    ASSERT_EQ(net.num_good_dirs(at[i], dst[i]),
+              static_cast<int>(dirs.size()));
+    ASSERT_EQ(dirlist_from_mask(ref), dirs)
+        << net.name() << ": good_dirs must come out in mask bit order";
+    for (Dir d = 0; d < static_cast<Dir>(net.num_dirs()); ++d) {
+      ASSERT_EQ(net.is_good_dir(at[i], dst[i], d), (ref >> d & 1u) != 0);
+    }
+    if (at[i] == dst[i]) {
+      ASSERT_EQ(ref, 0u) << "arrived packets have no good direction";
+    }
+  }
+}
+
+TEST(GoodMaskEquivalence, Mesh2D) {
+  expect_equivalence(Mesh(2, 7), 0xA11CE1u, 512);
+}
+
+TEST(GoodMaskEquivalence, Mesh3D) {
+  expect_equivalence(Mesh(3, 5), 0xB0B0Bu, 512);
+}
+
+TEST(GoodMaskEquivalence, Mesh4DSmallSide) {
+  expect_equivalence(Mesh(4, 3), 0xC4C4u, 512);
+}
+
+TEST(GoodMaskEquivalence, Torus2D) {
+  expect_equivalence(Mesh(2, 6, /*wrap=*/true), 0xD00Du, 512);
+}
+
+TEST(GoodMaskEquivalence, Torus3DOddSide) {
+  // Odd side: no antipodal tie on any axis; even side (above) has them.
+  expect_equivalence(Mesh(3, 5, /*wrap=*/true), 0xE55Eu, 512);
+}
+
+TEST(GoodMaskEquivalence, Hypercube) {
+  expect_equivalence(Hypercube(6), 0xF00Fu, 512);
+}
+
+TEST(GoodMaskEquivalence, HypercubeMaxDim) {
+  expect_equivalence(Hypercube(10), 0xFACEu, 512);
+}
+
+TEST(GoodMaskEquivalence, ExhaustiveTinyMesh) {
+  // Every (at, dst) pair of a 3x3 mesh and torus, no sampling at all.
+  for (const bool wrap : {false, true}) {
+    const Mesh m(2, 3, wrap);
+    const auto n = static_cast<NodeId>(m.num_nodes());
+    std::vector<NodeId> at;
+    std::vector<NodeId> dst;
+    for (NodeId a = 0; a < n; ++a) {
+      for (NodeId b = 0; b < n; ++b) {
+        at.push_back(a);
+        dst.push_back(b);
+      }
+    }
+    std::vector<std::uint32_t> batch(at.size());
+    m.good_masks(at.data(), dst.data(), batch.data(), at.size());
+    for (std::size_t i = 0; i < at.size(); ++i) {
+      const std::uint32_t ref = mask_from_dirs(m.good_dirs(at[i], dst[i]));
+      ASSERT_EQ(m.good_mask(at[i], dst[i]), ref);
+      ASSERT_EQ(batch[i], ref);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hp::net

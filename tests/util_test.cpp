@@ -1,6 +1,8 @@
 // Unit tests for the util layer: RNG, InlineVector, stats, CSV, tables.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <numeric>
@@ -177,6 +179,48 @@ TEST(InlineVector, NontrivialDestructorsRun) {
     *counter = 0;                    // ignore the temporaries
   }
   EXPECT_EQ(*counter, 2);
+}
+
+TEST(InlineVector, AlignDefaultsToValueAlignment) {
+  // Default Align = alignof(T): storage never forces more alignment than
+  // the container's other members (size_) already require.
+  static_assert(alignof(InlineVector<std::uint64_t, 4>) ==
+                alignof(std::uint64_t));
+  static_assert(alignof(InlineVector<char, 3>) < 64);
+  static_assert(alignof(InlineVector<char, 3, 64>) == 64);
+}
+
+TEST(InlineVector, AlignRaisesStorageAlignment) {
+  // The engine's per-node buckets use 64 so adjacent nodes written by
+  // different shards never share a cache line.
+  using Bucket = InlineVector<std::uint32_t, 4, 64>;
+  static_assert(alignof(Bucket) == 64);
+  static_assert(sizeof(Bucket) % 64 == 0);
+  // Capacity and element layout are unchanged by the wider alignment.
+  static_assert(Bucket::capacity() == 4);
+
+  Bucket v;
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % 64, 0u);
+  alignas(64) std::array<Bucket, 3> row;
+  for (const Bucket& b : row) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % 64, 0u);
+  }
+}
+
+TEST(InlineVector, AlignedPushPopAcrossCapacityBoundary) {
+  InlineVector<std::uint32_t, 4, 64> v;
+  for (std::uint32_t round = 0; round < 3; ++round) {
+    for (std::uint32_t i = 0; i < 4; ++i) v.push_back(round * 10 + i);
+    EXPECT_TRUE(v.full());
+    EXPECT_THROW(v.push_back(99), CheckError);  // overflow stays checked
+    EXPECT_EQ(v.size(), 4u);                    // failed push is a no-op
+    for (std::uint32_t i = 4; i-- > 0;) {
+      EXPECT_EQ(v.back(), round * 10 + i);
+      v.pop_back();
+    }
+    EXPECT_TRUE(v.empty());
+  }
+  EXPECT_THROW(v.pop_back(), CheckError);
 }
 
 TEST(RunningStat, BasicMoments) {
