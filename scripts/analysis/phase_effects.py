@@ -103,6 +103,12 @@ CONST_METHODS = frozenset(
 BARRIER_OPENERS = frozenset({"open", "wait_open"})
 BARRIER_CLOSERS = frozenset({"close", "leave"})
 
+#: Classes whose members speak the barrier protocol. ``PhaseBarrier`` is a
+#: ``using`` alias of the Sync-templated ``BasicPhaseBarrier``; member types
+#: are resolved through namespace-scope aliases in :func:`load_model`, so
+#: either spelling may survive as ``Member.obj_cls``.
+BARRIER_CLASSES = frozenset({"PhaseBarrier", "BasicPhaseBarrier"})
+
 ANNOTATION_RE = re.compile(r"\bHP_SHARED_WRITE\s*\(")
 STRING_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
 
@@ -148,6 +154,11 @@ class Model:
         default_factory=dict
     )
     enums: dict[str, list[str]] = dataclasses.field(default_factory=dict)
+    #: namespace-scope ``using Alias = Target<...>;`` → target idents, used
+    #: to resolve member types declared via an alias (e.g. PhaseBarrier).
+    type_aliases: dict[str, tuple[str, ...]] = dataclasses.field(
+        default_factory=dict
+    )
 
     def engine_members(self) -> dict[str, Member]:
         return self.classes.get("Engine", {})
@@ -325,6 +336,53 @@ def parse_into_model(model: Model, relpath: str, raw_text: str) -> None:
             i = j + 1
             continue
 
+        if v == "template":
+            # Skip the parameter list so `class`/`typename` inside it does
+            # not open a bogus class scope; the templated declaration that
+            # follows is parsed like any other. (`Sync::template Atomic<T>`
+            # has no `<` directly after the keyword and falls through.)
+            j = i + 1
+            if j < n and tokens[j].value == "<":
+                depth = 0
+                while j < n:
+                    w = tokens[j].value
+                    if w == "<":
+                        depth += 1
+                    elif w in (">", ">="):
+                        depth -= 1
+                    elif w == ">>":
+                        depth -= 2
+                    j += 1
+                    if depth <= 0:
+                        break
+                i = j
+                continue
+            i += 1
+            continue
+
+        if v == "using" and cur_class() is None and not stmt:
+            # `using Alias = Target<...>;` at namespace scope: remember the
+            # target's identifiers so members typed via the alias resolve
+            # to the underlying class. `using namespace` / bare
+            # `using ns::name;` carry no `=` and are skipped whole.
+            j = i + 1
+            alias = ""
+            if j < n and tokens[j].is_ident:
+                alias = tokens[j].value
+                j += 1
+            target: list[str] = []
+            saw_eq = False
+            while j < n and tokens[j].value != ";":
+                if tokens[j].value == "=":
+                    saw_eq = True
+                elif saw_eq and tokens[j].is_ident:
+                    target.append(tokens[j].value)
+                j += 1
+            if alias and saw_eq and target:
+                model.type_aliases[alias] = tuple(target)
+            i = j + 1
+            continue
+
         if v in ("class", "struct") and (i == 0 or tokens[i - 1].value != "enum"):
             j = i + 1
             name = ""
@@ -451,11 +509,25 @@ def load_model(root: pathlib.Path) -> Model:
         if p.is_file():
             parse_into_model(model, rel, p.read_text(encoding="utf-8"))
     known = set(model.classes)
+
+    def resolve(ident: str, seen: frozenset[str]) -> str | None:
+        """Class named by `ident`, following `using` aliases (cycle-safe)."""
+        if ident in known:
+            return ident
+        if ident in seen or ident not in model.type_aliases:
+            return None
+        for target in model.type_aliases[ident]:
+            hit = resolve(target, seen | {ident})
+            if hit is not None:
+                return hit
+        return None
+
     for members in model.classes.values():
         for m in members.values():
             for ident in m.type_idents:
-                if ident in known and ident != m.cls:
-                    m.obj_cls = ident
+                hit = resolve(ident, frozenset())
+                if hit is not None and hit != m.cls:
+                    m.obj_cls = hit
                     break
     return model
 
@@ -863,7 +935,7 @@ class RegionAnalyzer:
                 arg_end = _match_group(body, j + 2, "(", ")")
                 argids = _idents(body[j + 3 : arg_end - 1])
                 resume = j + 3  # the outer walk re-scans the argument list
-                if obj_cls == "PhaseBarrier":
+                if obj_cls in BARRIER_CLASSES:
                     return resume
                 summary = (
                     self.column_summary(obj_cls, meth)
@@ -1008,7 +1080,7 @@ class RegionAnalyzer:
         for i, t in enumerate(body):
             if not t.is_ident or t.value not in self.members:
                 continue
-            if self.members[t.value].obj_cls != "PhaseBarrier":
+            if self.members[t.value].obj_cls not in BARRIER_CLASSES:
                 continue
             j = i + 1
             if j < n and body[j].value in (".", "->") and j + 2 < n:

@@ -100,6 +100,12 @@ RULES = {
         "volatile is not a synchronization primitive; use std::atomic "
         "with an explicit order, or annotate the MMIO-style exception"
     ),
+    "atomic-store-no-notify": (
+        "mutation of an atomic that threads park on via wait() has no "
+        "notify_one/notify_all before the enclosing block ends; a missed "
+        "wakeup strands the parked thread (the lost-wakeup class the model "
+        "checker in tests/model/ proves absent)"
+    ),
     "stale-allow": (
         "hp-lint allow annotation no longer suppresses any finding; "
         "delete it or move it back onto the offending line"
@@ -312,6 +318,14 @@ class FileLinter:
         r"^\s+static\s+(?!const\b|constexpr\b|consteval\b|constinit\b|"
         r"assert\b|_assert)"
     )
+    #: A static member *function* (`static void relax() { ... }`) is not a
+    #: function-local static; exempt declarator-shaped lines, including the
+    #: zero-argument form that the `(`-in-declarator check below misses
+    #: (it strips `()` to ignore call parens in initializers).
+    STATIC_FN = re.compile(
+        r"^\s+static\s+[\w:<>,&*\s]+\b\w+\s*\([^()]*\)\s*"
+        r"(?:const\s*)?(?:noexcept\s*)?[;{]"
+    )
     SPAN_MEMBER = re.compile(
         r"\bstd::span\s*<[^;]*>\s+\w+_\s*(?:;|=|\{)"
     )
@@ -324,8 +338,10 @@ class FileLinter:
     RECORD_SPAN_RETAIN = re.compile(
         r"\w+_\s*=\s*record\s*\.\s*(?:assignments|arrivals)\b"
     )
+    # [Aa]tomic: covers std::atomic and the BasicPhaseBarrier-style policy
+    # alias `Atomic<T>` (template parameter selecting real vs model shim).
     ATOMIC_DECL = re.compile(
-        r"\b(?:std::)?atomic\s*<[^;{}]*>\s*&?\s+(\w+)\s*[;={,)[]"
+        r"\b(?:std::)?[Aa]tomic\s*<[^;{}]*>\s*&?\s+(\w+)\s*[;={,)[]"
         r"|\b(?:std::)?atomic_flag\s+(\w+)\s*[;={,)[]"
     )
     # Member functions whose trailing memory_order argument defaults to
@@ -394,6 +410,44 @@ class FileLinter:
             else None
         )
 
+        # atomic-store-no-notify: the waited set is every declared atomic
+        # this file parks on via `X.wait(...)`; mutations of those names must
+        # be followed by a notify on the same name before their enclosing
+        # block closes (brace-delta scan — the leave()-style
+        # `if (fetch_sub(...) == 1) notify_one();` pattern stays in scope).
+        waited_names: set[str] = set()
+        if atomic_names:
+            wait_use = re.compile(rf"\b({names_alt})\s*\.\s*wait\s*\(")
+            for line in self.code_lines:
+                for m in wait_use.finditer(line):
+                    waited_names.add(m.group(1))
+        waited_mutation = (
+            re.compile(
+                r"\b(" + "|".join(map(re.escape, sorted(waited_names))) + r")"
+                r"\s*\.\s*(?:store|exchange|fetch_add|fetch_sub|fetch_and|"
+                r"fetch_or|fetch_xor|compare_exchange_weak|"
+                r"compare_exchange_strong)\s*\("
+            )
+            if waited_names
+            else None
+        )
+
+        def notify_follows(lineno: int, name: str) -> bool:
+            """True iff `name` is notified between line `lineno` (1-based,
+            inclusive) and the close of the enclosing block."""
+            notify = re.compile(
+                rf"\b{re.escape(name)}\s*\.\s*notify_(?:one|all)\s*\("
+            )
+            depth = 0
+            for j in range(lineno, len(self.code_lines) + 1):
+                line = self.code_lines[j - 1]
+                if notify.search(line):
+                    return True
+                depth += line.count("{") - line.count("}")
+                if depth < 0:
+                    return False
+            return False
+
         def call_extent(lineno: int, open_col: int) -> str:
             """Text inside the (possibly multi-line) call starting at the
             '(' at (lineno, open_col), up to its matching ')'."""
@@ -429,9 +483,11 @@ class FileLinter:
                     or self.POINTER_TO_INT.search(line)
                 ):
                     self.flag(idx, "pointer-order", line.strip()[:80])
-                if self.STATIC_LOCAL.search(line) and "(" not in line.split(
-                    "="
-                )[0].split(";")[0].replace("()", ""):
+                if (
+                    self.STATIC_LOCAL.search(line)
+                    and not self.STATIC_FN.search(line)
+                    and "(" not in line.split("=")[0].split(";")[0].replace("()", "")
+                ):
                     self.flag(idx, "static-local", line.strip()[:80])
             if raw_random and self.RAW_RANDOM.search(line):
                 self.flag(idx, "raw-random", line.strip()[:80])
@@ -454,6 +510,14 @@ class FileLinter:
                     implicit = True
                 if implicit:
                     self.flag(idx, "atomic-implicit-seqcst", line.strip()[:80])
+                if waited_mutation:
+                    for m in waited_mutation.finditer(line):
+                        if not notify_follows(idx, m.group(1)):
+                            self.flag(
+                                idx,
+                                "atomic-store-no-notify",
+                                f"{m.group(1)}: " + line.strip()[:70],
+                            )
             if has_on_step and (
                 self.RECORD_SPAN_RETAIN.search(line)
                 or self.RECORD_RETAIN.search(line)
@@ -475,7 +539,11 @@ class FileLinter:
         if raw_random:
             in_force.add("raw-random")
         if atomics:
-            in_force |= {"atomic-implicit-seqcst", "volatile-qualifier"}
+            in_force |= {
+                "atomic-implicit-seqcst",
+                "volatile-qualifier",
+                "atomic-store-no-notify",
+            }
         if has_on_step:
             in_force.add("span-retention")
         for idx, raw in enumerate(self.raw_lines, start=1):

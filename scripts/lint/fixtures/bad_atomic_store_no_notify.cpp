@@ -1,0 +1,68 @@
+// Fixture: mutations of waited-on atomics that never wake the sleepers.
+// epoch_ and active_ are parked on via atomic::wait below, so every store/
+// RMW to them must be followed by notify_one/notify_all before the
+// enclosing block ends — a missed wakeup strands the parked thread (the
+// lost-wakeup bug class tests/model/ model-checks the real barrier for).
+// quiet_ is never waited on, so its bare stores are fine.
+// Expected findings: atomic-store-no-notify (x3).
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+class LostWakeups {
+ public:
+  std::uint64_t wait_open(std::uint64_t seen) {
+    std::uint64_t e = epoch_.load(std::memory_order_acquire);
+    while (e == seen) {
+      epoch_.wait(e, std::memory_order_acquire);
+      e = epoch_.load(std::memory_order_acquire);
+    }
+    return e;
+  }
+
+  void close() {
+    std::uint32_t live = active_.load(std::memory_order_acquire);
+    while (live != 0) {
+      active_.wait(live, std::memory_order_acquire);
+      live = active_.load(std::memory_order_acquire);
+    }
+  }
+
+  void open_bad(std::uint32_t workers) {
+    // BAD: close() can be parked on active_; this store never wakes it.
+    active_.store(workers, std::memory_order_relaxed);
+  }
+
+  void publish_bad() {
+    // BAD: wait_open() parks on epoch_; the bump is silent.
+    epoch_.fetch_add(2, std::memory_order_release);
+  }
+
+  void leave_bad() {
+    // BAD: the last leaver must notify the closer.
+    active_.fetch_sub(1, std::memory_order_release);
+  }
+
+  void publish_good() {
+    epoch_.fetch_add(2, std::memory_order_release);
+    epoch_.notify_all();
+  }
+
+  void leave_good() {
+    if (active_.fetch_sub(1, std::memory_order_release) == 1) {
+      active_.notify_one();
+    }
+  }
+
+  void untracked_ok() {
+    quiet_.store(5, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint32_t> active_{0};
+  std::atomic<std::uint32_t> quiet_{0};
+};
+
+}  // namespace fixture

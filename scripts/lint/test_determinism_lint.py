@@ -31,6 +31,7 @@ EXPECTED = {
     "bad_static_local.cpp": {"static-local": 2},
     "bad_span_retention.cpp": {"span-retention": 3},
     "bad_atomic_seqcst.cpp": {"atomic-implicit-seqcst": 7},
+    "bad_atomic_store_no_notify.cpp": {"atomic-store-no-notify": 3},
     "bad_volatile.cpp": {"volatile-qualifier": 2},
     "bad_stale_allow.cpp": {"stale-allow": 2},
     "good_allowlisted.cpp": {},
@@ -119,6 +120,28 @@ class AllowAnnotations(unittest.TestCase):
             "void bump() { hits_.fetch_add(1); }\n"
         )
         self.assertEqual(self.lint_text(text), [])
+
+    def test_store_no_notify_allow_suppresses(self) -> None:
+        text = (
+            "std::atomic<int> gate_{0};\n"
+            "void block() { gate_.wait(0, std::memory_order_acquire); }\n"
+            "// hp-lint: allow(atomic-store-no-notify) caller notifies after\n"
+            "// batching several gates; see flush_gates()\n"
+            "void arm() { gate_.store(1, std::memory_order_release); }\n"
+        )
+        self.assertEqual(self.lint_text(text), [])
+
+    def test_policy_alias_atomic_is_tracked(self) -> None:
+        # The BasicPhaseBarrier style: Atomic<T> is a Sync-policy alias for
+        # std::atomic<T>; waited-on members must still pair mutations with
+        # notifies.
+        text = (
+            "Atomic<std::uint64_t> epoch_{0};\n"
+            "void park() { epoch_.wait(0, std::memory_order_acquire); }\n"
+            "void bump() { epoch_.fetch_add(2, std::memory_order_release); }\n"
+        )
+        findings = self.lint_text(text)
+        self.assertEqual([f.rule for f in findings], ["atomic-store-no-notify"])
 
     def test_explicit_order_is_clean(self) -> None:
         text = (

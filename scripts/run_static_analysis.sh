@@ -6,7 +6,8 @@
 #      layering gate and the routing_reachable.json freshness check
 #   2. determinism lint  — scripts/lint/ self-tests, then the live tree
 #      (scope = prefix floor ∪ the reachability artifact); includes the
-#      atomics-discipline rules (implicit seq_cst, volatile)
+#      atomics-discipline rules (implicit seq_cst, volatile,
+#      store-without-notify on waited atomics)
 #   3. strict warnings   — HP_STRICT build (-Werror) in build-strict/
 #   4. thread safety     — fixture census + clang -Wthread-safety -Werror
 #      build in build-tsafety/ (clang-only)
@@ -15,11 +16,15 @@
 #      live-engine contract check, and phase_effects.json freshness
 #   7. atomics fixtures  — exercised inside the layer-2 self-tests; listed
 #      here because docs/STATIC_ANALYSIS.md numbers them separately
+#   8. model checker     — exhaustive bounded-schedule exploration of
+#      BasicPhaseBarrier<ModelSync> plus the buggy-protocol fixture corpus
+#      (tests/model/, built by the strict build)
 #
 # plus a clang-format check when the binary exists. Layers whose tool is not
 # installed are SKIPPED with a notice (the container bakes in gcc + python3
 # only; CI runs every layer). Any executed layer failing fails the script,
-# and the summary lists the failed layers by name.
+# the summary lists the failed layers by name, and every executed layer
+# reports its wall-clock seconds in the summary timing table.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,7 +53,21 @@ done
 failures=0
 FAILED=()
 CURRENT=""
-layer() { echo; echo "=== $* ==="; CURRENT="$*"; }
+LAYER_NAMES=()
+LAYER_SECS=()
+LAYER_START=0
+close_layer() {
+  if [ -n "$CURRENT" ]; then
+    LAYER_NAMES+=("$CURRENT")
+    LAYER_SECS+=("$(( $(date +%s) - LAYER_START ))")
+  fi
+}
+layer() {
+  close_layer
+  echo; echo "=== $* ==="
+  CURRENT="$*"
+  LAYER_START=$(date +%s)
+}
 fail_layer() {
   failures=$((failures + 1))
   # A layer with several commands is listed once.
@@ -58,6 +77,12 @@ fail_layer() {
   fi
 }
 summary() {
+  close_layer
+  echo
+  echo "layer timings:"
+  for i in "${!LAYER_NAMES[@]}"; do
+    printf '  %5ss  %s\n' "${LAYER_SECS[$i]}" "${LAYER_NAMES[$i]}"
+  done
   echo
   if [ "$failures" != 0 ]; then
     echo "static analysis: ${#FAILED[@]} layer(s) failed:"
@@ -118,6 +143,21 @@ cmake -B build-strict -S . -DHP_STRICT=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
   > build-strict/configure.log 2>&1 \
   || { cat build-strict/configure.log; fail_layer; }
 cmake --build build-strict -j "$(nproc)" || fail_layer
+
+# --- layer 8: concurrency model checker --------------------------------------
+# Exhaustive bounded exploration is deterministic and finite, but cap the
+# wall time anyway so a state-space regression fails loudly instead of
+# wedging the run. The binaries come out of the strict build above.
+layer "model checker (bounded exhaustive schedules, tests/model/)"
+MODEL_BIN_DIR=build-strict/tests/model
+if [ -x "$MODEL_BIN_DIR/model_fixtures_test" ] \
+  && [ -x "$MODEL_BIN_DIR/model_barrier_test" ]; then
+  timeout 900 "$MODEL_BIN_DIR/model_fixtures_test" || fail_layer
+  timeout 900 "$MODEL_BIN_DIR/model_barrier_test" || fail_layer
+else
+  echo "model test binaries missing from $MODEL_BIN_DIR (strict build broken?)"
+  fail_layer
+fi
 
 # --- thread-safety: fixtures + whole-tree clang build -----------------------
 layer "thread safety (-Wthread-safety -Werror, clang-only)"

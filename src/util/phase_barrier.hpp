@@ -25,9 +25,17 @@
 // open()/close() must strictly alternate — the pairing is enforced
 // statically by modelling the open epoch as a capability (HP_ACQUIRE/
 // HP_RELEASE below), the compile-time counterpart of the TSan stress test
-// in tests/phase_barrier_test.cpp. The capability analysis cannot see
-// atomics themselves, so the happens-before argument lives in the comments
-// above each member and is exercised under -fsanitize=thread in CI.
+// in tests/phase_barrier_test.cpp.
+//
+// The barrier is a template over a `Sync` policy so the identical protocol
+// code runs against either real atomics (RealSync, the production alias
+// below) or the hp::model shim (util/model_sync.hpp), whose cooperative
+// scheduler explores thread interleavings exhaustively. The capability
+// analysis cannot see atomics themselves, so the happens-before argument in
+// the comments above each member is checked three ways: dynamically under
+// -fsanitize=thread in CI, structurally by the phase-effects analyzer, and
+// exhaustively (every schedule up to a preemption bound) by the model
+// checker in tests/model/ (docs/STATIC_ANALYSIS.md, layer 8).
 #pragma once
 
 #include <atomic>
@@ -57,8 +65,40 @@ inline void cpu_relax() {
 #endif
 }
 
-class HP_CAPABILITY("barrier") PhaseBarrier {
+/// Production synchronization policy: plain std::atomic, a real pause hint,
+/// and a spin window sized for epochs that arrive back-to-back inside one
+/// engine step. The model checker substitutes hp::model::ModelSync, whose
+/// every operation is a scheduler decision point (util/model_sync.hpp).
+struct RealSync {
+  template <class T>
+  using Atomic = std::atomic<T>;
+
+  /// Spin iterations before parking. Small on purpose: when a sibling
+  /// phase is imminent the epoch flips within a few hundred cycles, and
+  /// when it is not (engine in a serial phase, or oversubscribed on few
+  /// cores) parking promptly is strictly better than burning the core.
+  static constexpr int kSpinLimit = 1 << 10;
+
+  static void relax() { cpu_relax(); }
+};
+
+/// RealSync with an empty spin window: every waiting path parks in
+/// atomic::wait immediately. Used by tests that must deterministically
+/// exercise the futex parking path (shutdown-while-parked) with real
+/// threads instead of relying on a sleep to outlast the spin window.
+struct ParkEagerSync {
+  template <class T>
+  using Atomic = std::atomic<T>;
+  static constexpr int kSpinLimit = 0;
+  static void relax() { cpu_relax(); }
+};
+
+template <class Sync>
+class HP_CAPABILITY("barrier") BasicPhaseBarrier {
  public:
+  template <class T>
+  using Atomic = typename Sync::template Atomic<T>;
+
   /// Sentinel returned by next_task() once the epoch's tasks are exhausted.
   static constexpr std::uint32_t kNoTask = ~std::uint32_t{0};
 
@@ -70,10 +110,11 @@ class HP_CAPABILITY("barrier") PhaseBarrier {
     bool stop = false;
   };
 
-  explicit PhaseBarrier(std::uint32_t num_workers) : workers_(num_workers) {}
+  explicit BasicPhaseBarrier(std::uint32_t num_workers)
+      : workers_(num_workers) {}
 
-  PhaseBarrier(const PhaseBarrier&) = delete;
-  PhaseBarrier& operator=(const PhaseBarrier&) = delete;
+  BasicPhaseBarrier(const BasicPhaseBarrier&) = delete;
+  BasicPhaseBarrier& operator=(const BasicPhaseBarrier&) = delete;
 
   std::uint32_t num_workers() const { return workers_; }
 
@@ -86,6 +127,9 @@ class HP_CAPABILITY("barrier") PhaseBarrier {
     num_tasks_.store(num_tasks, std::memory_order_relaxed);
     tag_.store(tag, std::memory_order_relaxed);
     tickets_.store(0, std::memory_order_relaxed);
+    // hp-lint: allow(atomic-store-no-notify) nobody can be parked on
+    // active_ here: close() is the only waiter, it runs on this same
+    // thread after open(), and the previous close() already saw zero.
     active_.store(workers_, std::memory_order_relaxed);
     epoch_.fetch_add(2, std::memory_order_release);
     epoch_.notify_all();
@@ -99,8 +143,8 @@ class HP_CAPABILITY("barrier") PhaseBarrier {
     std::uint32_t live = active_.load(std::memory_order_acquire);
     int spins = 0;
     while (live != 0) {
-      if (++spins <= kSpinLimit) {
-        cpu_relax();
+      if (++spins <= Sync::kSpinLimit) {
+        Sync::relax();
       } else {
         active_.wait(live, std::memory_order_acquire);
         spins = 0;
@@ -135,8 +179,8 @@ class HP_CAPABILITY("barrier") PhaseBarrier {
     std::uint64_t raw = epoch_.load(std::memory_order_acquire);
     int spins = 0;
     while ((raw >> 1) == seen_serial) {
-      if (++spins <= kSpinLimit) {
-        cpu_relax();
+      if (++spins <= Sync::kSpinLimit) {
+        Sync::relax();
       } else {
         epoch_.wait(raw, std::memory_order_acquire);
         spins = 0;
@@ -160,18 +204,15 @@ class HP_CAPABILITY("barrier") PhaseBarrier {
   }
 
  private:
-  /// Spin iterations before parking. Small on purpose: when a sibling
-  /// phase is imminent the epoch flips within a few hundred cycles, and
-  /// when it is not (engine in a serial phase, or oversubscribed on few
-  /// cores) parking promptly is strictly better than burning the core.
-  static constexpr int kSpinLimit = 1 << 10;
-
   const std::uint32_t workers_;
-  alignas(kCacheLineBytes) std::atomic<std::uint64_t> epoch_{0};
-  alignas(kCacheLineBytes) std::atomic<std::uint32_t> tickets_{0};
-  alignas(kCacheLineBytes) std::atomic<std::uint32_t> active_{0};
-  std::atomic<std::uint32_t> num_tasks_{0};
-  std::atomic<std::uint32_t> tag_{0};
+  alignas(kCacheLineBytes) Atomic<std::uint64_t> epoch_{0};
+  alignas(kCacheLineBytes) Atomic<std::uint32_t> tickets_{0};
+  alignas(kCacheLineBytes) Atomic<std::uint32_t> active_{0};
+  Atomic<std::uint32_t> num_tasks_{0};
+  Atomic<std::uint32_t> tag_{0};
 };
+
+/// The engine's barrier: the protocol above over real atomics.
+using PhaseBarrier = BasicPhaseBarrier<RealSync>;
 
 }  // namespace hp::util

@@ -171,6 +171,83 @@ TEST(PhaseBarrier, ShutdownStopsEveryWorkerPromptly) {
   EXPECT_EQ(stopped.load(std::memory_order_relaxed), 4);
 }
 
+TEST(PhaseBarrier, ShutdownWakesWorkersParkedInAtomicWait) {
+  // Regression for the lost-wakeup class the model checker proves absent
+  // (tests/model/): shutdown() arriving while workers are parked inside
+  // epoch_.wait() must wake every one of them. RealSync's long spin window
+  // means the plain shutdown test above almost never reaches the futex
+  // path; ParkEagerSync (spin limit zero, real std::atomic) parks on the
+  // first check, so under TSan in CI this drives the actual
+  // store-then-notify handoff, not the spin loop.
+  using EagerBarrier = BasicPhaseBarrier<ParkEagerSync>;
+  for (int round = 0; round < 64; ++round) {
+    EagerBarrier barrier(4);
+    std::atomic<int> stopped{0};
+    std::atomic<int> parked{0};
+    std::vector<std::thread> threads;
+    for (int w = 0; w < 4; ++w) {
+      threads.emplace_back([&] {
+        parked.fetch_add(1, std::memory_order_relaxed);
+        const EagerBarrier::Epoch e = barrier.wait_open(0);
+        if (e.stop) stopped.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // Give the workers a chance to actually reach the parked state so the
+    // shutdown exercises notify-after-park, not check-before-park.
+    while (parked.load(std::memory_order_relaxed) < 4) {
+      std::this_thread::yield();
+    }
+    barrier.shutdown();
+    for (std::thread& t : threads) t.join();
+    ASSERT_EQ(stopped.load(std::memory_order_relaxed), 4) << "round " << round;
+  }
+}
+
+TEST(PhaseBarrier, CloseParksUntilLastWorkerLeaves) {
+  // The other parking path: with a zero spin window the main thread parks
+  // in active_.wait() inside close() whenever workers still hold the
+  // epoch; the last leave()'s fetch_sub+notify must wake it. Runs whole
+  // epochs through ParkEagerSync to keep that wakeup under TSan coverage.
+  using EagerBarrier = BasicPhaseBarrier<ParkEagerSync>;
+  EagerBarrier barrier(3);
+  std::atomic<std::uint32_t> executed[kMaxTasks] = {};
+  auto drain = [&] {
+    for (;;) {
+      const std::uint32_t t = barrier.next_task();
+      if (t == EagerBarrier::kNoTask) return;
+      executed[t].fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 3; ++w) {
+    threads.emplace_back([&] {
+      std::uint64_t seen = 0;
+      for (;;) {
+        const EagerBarrier::Epoch e = barrier.wait_open(seen);
+        seen = e.serial;
+        if (e.stop) return;
+        drain();
+        barrier.leave();
+      }
+    });
+  }
+  for (int epoch = 0; epoch < 500; ++epoch) {
+    const auto tasks = static_cast<std::uint32_t>(epoch % kMaxTasks) + 1;
+    for (std::uint32_t t = 0; t < tasks; ++t) {
+      executed[t].store(0, std::memory_order_relaxed);
+    }
+    barrier.open(tasks, static_cast<std::uint32_t>(epoch));
+    drain();
+    barrier.close();
+    for (std::uint32_t t = 0; t < tasks; ++t) {
+      ASSERT_EQ(executed[t].load(std::memory_order_relaxed), 1u)
+          << "task " << t << " epoch " << epoch;
+    }
+  }
+  barrier.shutdown();
+  for (std::thread& t : threads) t.join();
+}
+
 TEST(PhaseBarrier, ExceptionsPropagateViaPerTaskCapture) {
   // The engine's error contract: a task that throws captures its exception
   // into its shard slot; the main thread rethrows the first error in task
