@@ -17,42 +17,10 @@
 #include "obs/metrics.hpp"
 #include "sim/injection.hpp"
 #include "stats/steady_state.hpp"
+#include "stats/window.hpp"
 
 namespace hp::bench {
 namespace {
-
-/// Per-step occupancy accumulator: the steps/sec of a window is only
-/// attributable if we know how much flight work each of its steps carried.
-/// The endpoint in_flight alone proved misleading — BENCH_steady_state.json
-/// showed windows 7–9 sagging ~30% with flat endpoint occupancy, which this
-/// observer disambiguates (occupancy excursions within the window vs a
-/// hot-path cost change).
-class InFlightWindowStats final : public sim::StepObserver {
- public:
-  void on_step(const sim::Engine&, const sim::StepRecord& record) override {
-    sum_ += record.in_flight_after;
-    peak_ = std::max(peak_, record.in_flight_after);
-    ++steps_;
-  }
-
-  double mean() const {
-    return steps_ == 0 ? 0.0
-                       : static_cast<double>(sum_) /
-                             static_cast<double>(steps_);
-  }
-  std::size_t peak() const { return peak_; }
-
-  void reset() {
-    sum_ = 0;
-    peak_ = 0;
-    steps_ = 0;
-  }
-
- private:
-  std::uint64_t sum_ = 0;
-  std::size_t peak_ = 0;
-  std::uint64_t steps_ = 0;
-};
 
 /// Long-horizon per-step cost: run > 10⁶ injected steps and report
 /// steps/sec per window. With O(in-flight) step cost the curve is flat —
@@ -70,7 +38,12 @@ void throughput_flatness() {
   sim::Engine engine(mesh, {}, *policy, config);
   sim::BernoulliInjector injector(0.2, 41);
   engine.set_injector(&injector);
-  InFlightWindowStats occupancy;
+  // Per-step occupancy per window: the steps/sec of a window is only
+  // attributable if we know how much flight work each of its steps
+  // carried (endpoint in_flight alone once hid a ~30% sag as an
+  // occupancy excursion). The shared window observer tracks the post-move
+  // in-flight count exactly as the local accumulator it replaced did.
+  stats::WindowStats occupancy;
   engine.add_observer(&occupancy);
 
   constexpr std::uint64_t kWindow = 100'000;
@@ -79,7 +52,7 @@ void throughput_flatness() {
   TablePrinter table({"window", "steps", "delivered_total", "steps/sec",
                       "mean_in_flight", "peak_in_flight"});
   for (int w = 0; w < kWindows; ++w) {
-    occupancy.reset();
+    occupancy.begin_window();
     const auto t0 = std::chrono::steady_clock::now();
     engine.run_for(kWindow);
     const auto t1 = std::chrono::steady_clock::now();
@@ -90,14 +63,15 @@ void throughput_flatness() {
         .add(static_cast<double>(engine.now()), 0)
         .add(static_cast<double>(engine.delivered()), 0)
         .add(sps, 0)
-        .add(occupancy.mean(), 1)
-        .add(static_cast<std::int64_t>(occupancy.peak()));
+        .add(occupancy.in_flight_after().mean(), 1)
+        .add(static_cast<std::int64_t>(occupancy.peak_in_flight()));
     report.add("window_" + std::to_string(w),
                {{"steps_total", static_cast<double>(engine.now())},
                 {"delivered_total", static_cast<double>(engine.delivered())},
                 {"in_flight", static_cast<double>(engine.in_flight())},
-                {"mean_in_flight", occupancy.mean()},
-                {"peak_in_flight", static_cast<double>(occupancy.peak())},
+                {"mean_in_flight", occupancy.in_flight_after().mean()},
+                {"peak_in_flight",
+                 static_cast<double>(occupancy.peak_in_flight())},
                 {"steps_per_sec", sps}});
   }
   table.print(std::cout);

@@ -1,0 +1,193 @@
+// E18 — saturation sweep: the load × workload × policy grid with
+// closed-loop throughput probing (docs/SWEEPS.md).
+//
+// For every grid cell (policy × destination pattern × Pareto flow sizes
+// on an 8×8 mesh) the driver first probes the maximum sustainable
+// offered load with the sim::AdmissionController, then measures the
+// throughput/latency curve across 0.1–1.0 of that saturation point. All
+// metrics are virtual-time, so the committed BENCH_sweep.json
+// regenerates deterministically and scripts/bench_compare.py gates it.
+//
+// Usage:
+//   bench_sweep                      full grid -> BENCH_sweep.json
+//   bench_sweep --cell restricted:transpose:1 --out cell.json
+//   bench_sweep --list               print the grid cell ids
+//
+// scripts/sweep.py fans --cell jobs out in parallel and merges the
+// per-cell JSON back into one artifact.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bench_json.hpp"
+#include "stats/sweep.hpp"
+#include "workload/traffic.hpp"
+
+namespace hp::bench {
+namespace {
+
+constexpr int kMeshSide = 8;
+
+const std::vector<std::string>& grid_policies() {
+  static const std::vector<std::string> kPolicies = {"restricted",
+                                                     "greedy-random"};
+  return kPolicies;
+}
+
+const std::vector<std::string>& grid_patterns() {
+  static const std::vector<std::string> kPatterns = {
+      "uniform", "hotspot", "transpose", "bit-reversal"};
+  return kPatterns;
+}
+
+struct Cell {
+  std::string policy;
+  std::string pattern;
+  bool pareto = false;
+
+  std::string id() const {
+    return policy + ":" + pattern + ":" + (pareto ? "1" : "0");
+  }
+  /// Entry-name prefix: pattern names lose their hyphen so the grid axes
+  /// stay visually separable in "policy_pattern_pN" keys.
+  std::string key() const {
+    std::string pat = pattern == "bit-reversal" ? "bitrev" : pattern;
+    return policy + "_" + pat + (pareto ? "_p1" : "_p0");
+  }
+};
+
+std::vector<Cell> full_grid() {
+  std::vector<Cell> cells;
+  for (const auto& policy : grid_policies()) {
+    for (const auto& pattern : grid_patterns()) {
+      for (bool pareto : {false, true}) {
+        cells.push_back({policy, pattern, pareto});
+      }
+    }
+  }
+  return cells;
+}
+
+Cell parse_cell(const std::string& id) {
+  const auto c1 = id.find(':');
+  const auto c2 = id.rfind(':');
+  HP_REQUIRE(c1 != std::string::npos && c2 != c1,
+             "cell id must be POLICY:PATTERN:PARETO, got '" + id + "'");
+  Cell cell;
+  cell.policy = id.substr(0, c1);
+  cell.pattern = id.substr(c1 + 1, c2 - c1 - 1);
+  const std::string pareto = id.substr(c2 + 1);
+  HP_REQUIRE(pareto == "0" || pareto == "1",
+             "cell pareto flag must be 0 or 1, got '" + pareto + "'");
+  cell.pareto = pareto == "1";
+  // Validate both axes eagerly so a typo fails before any simulation.
+  workload::pattern_from_name(cell.pattern);
+  make_policy(cell.policy);
+  return cell;
+}
+
+std::string load_suffix(double fraction) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "load%03d",
+                static_cast<int>(fraction * 100.0 + 0.5));
+  return buf;
+}
+
+void run_cell(const Cell& cell, JsonReport& report) {
+  net::Mesh mesh(2, kMeshSide);
+  auto policy = make_policy(cell.policy);
+
+  workload::TrafficConfig traffic;
+  traffic.pattern = workload::pattern_from_name(cell.pattern);
+  traffic.pareto = cell.pareto;
+
+  stats::SweepConfig config;
+  config.seed = 1;
+
+  print_header("E18:" + cell.id(),
+               "saturation probe + load curve on " + mesh.name());
+  const auto result = stats::run_sweep_cell(mesh, *policy, traffic, config);
+
+  const auto& probe = result.probe;
+  report.add(cell.key() + "_saturation",
+             {{"saturation_rate", probe.saturation_rate},
+              {"throughput", probe.throughput_at_saturation},
+              {"mean_latency", probe.latency_at_saturation},
+              {"windows", static_cast<double>(probe.windows)},
+              {"converged", probe.converged ? 1.0 : 0.0}});
+  std::cout << "probe: saturation_rate=" << probe.saturation_rate
+            << " windows=" << probe.windows
+            << (probe.converged ? "" : " (NOT CONVERGED)") << "\n";
+
+  TablePrinter table({"load", "rate", "throughput", "admit", "mean_lat",
+                      "p99_lat", "peak_in_flight"});
+  for (const auto& point : result.curve) {
+    table.row()
+        .add(point.load_fraction, 1)
+        .add(point.offered_rate, 4)
+        .add(point.throughput, 4)
+        .add(point.admit_fraction, 3)
+        .add(point.mean_latency, 1)
+        .add(point.p99_latency, 1)
+        .add(static_cast<std::int64_t>(point.peak_in_flight));
+    report.add(
+        cell.key() + "_" + load_suffix(point.load_fraction),
+        {{"load_fraction", point.load_fraction},
+         {"offered_rate", point.offered_rate},
+         {"throughput", point.throughput},
+         {"admit_fraction", point.admit_fraction},
+         {"mean_latency", point.mean_latency},
+         {"p99_latency", point.p99_latency},
+         {"mean_population", point.mean_population},
+         {"peak_in_flight", static_cast<double>(point.peak_in_flight)},
+         {"delivered", static_cast<double>(point.delivered)}});
+  }
+  table.print(std::cout);
+}
+
+int sweep_main(const std::vector<std::string>& args) {
+  std::string out = "BENCH_sweep.json";
+  std::vector<Cell> cells;
+  bool list_only = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto value = [&]() -> const std::string& {
+      HP_REQUIRE(i + 1 < args.size(), "missing value for " + arg);
+      return args[++i];
+    };
+    if (arg == "--out") {
+      out = value();
+    } else if (arg == "--cell") {
+      cells.push_back(parse_cell(value()));
+    } else if (arg == "--list") {
+      list_only = true;
+    } else {
+      std::cerr << "usage: bench_sweep [--out PATH] [--cell P:W:PARETO]... "
+                   "[--list]\n";
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+  if (cells.empty()) cells = full_grid();
+  if (list_only) {
+    for (const auto& cell : cells) std::cout << cell.id() << "\n";
+    return 0;
+  }
+  JsonReport report("hotpotato-bench-sweep-v1");
+  for (const auto& cell : cells) run_cell(cell, report);
+  report.write(out);
+  return 0;
+}
+
+}  // namespace
+}  // namespace hp::bench
+
+int main(int argc, char** argv) {
+  try {
+    return hp::bench::sweep_main({argv + 1, argv + argc});
+  } catch (const hp::CheckError& e) {
+    std::cerr << "bench_sweep: " << e.what() << "\n";
+    return 2;
+  }
+}

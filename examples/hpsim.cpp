@@ -31,14 +31,18 @@
 #include "routing/perverse.hpp"
 #include "routing/restricted_priority.hpp"
 #include "routing/single_target.hpp"
+#include "sim/admission.hpp"
 #include "sim/engine.hpp"
 #include "sim/injection.hpp"
 #include "stats/recorder.hpp"
 #include "stats/steady_state.hpp"
+#include "stats/sweep.hpp"
 #include "topology/hypercube.hpp"
 #include "topology/mesh.hpp"
+#include "util/table.hpp"
 #include "workload/generators.hpp"
 #include "workload/io.hpp"
+#include "workload/traffic.hpp"
 
 namespace {
 
@@ -61,6 +65,9 @@ struct Options {
   std::string metrics_path;  // metrics snapshot (.csv => CSV, else JSON)
   std::string trace_path;    // Chrome trace_event JSON
   bool profile = false;      // wall-clock phase profile on stderr
+  bool probe = false;        // closed-loop saturation probe
+  bool sweep_cell = false;   // probe + offered-load curve (one sweep cell)
+  bool pareto = false;       // heavy-tailed Pareto flow sizes
 };
 
 void usage() {
@@ -96,6 +103,14 @@ void usage() {
                                     batch mode only
   --profile                         print the wall-clock engine phase
                                     profile on stderr; batch mode only
+  --probe                           closed-loop saturation probe: --workload
+                                    names a traffic pattern (uniform|hotspot|
+                                    transpose|bit-reversal); prints the probe
+                                    trajectory and the saturation point
+  --sweep-cell                      one full sweep cell: the probe plus the
+                                    0.1-1.0 offered-load curve
+  --pareto                          heavy-tailed Pareto flow sizes for
+                                    --probe/--sweep-cell traffic
   --help
 )";
 }
@@ -235,6 +250,12 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.trace_path = value();
     } else if (arg == "--profile") {
       opt.profile = true;
+    } else if (arg == "--probe") {
+      opt.probe = true;
+    } else if (arg == "--sweep-cell") {
+      opt.sweep_cell = true;
+    } else if (arg == "--pareto") {
+      opt.pareto = true;
     } else if (arg == "--audit") {
       opt.audit = true;
     } else if (arg == "--csv") {
@@ -251,6 +272,77 @@ bool parse(int argc, char** argv, Options& opt) {
   return true;
 }
 
+/// Saturation probe / sweep-cell modes: closed-loop admission control
+/// against continuous patterned traffic (docs/SWEEPS.md). Returns the
+/// process exit code; non-convergence is reported as 1 so scripts can
+/// tell a dead cell from a probed one.
+int run_sweep_mode(const Options& opt, const hp::net::Network& network) {
+  auto policy = make_policy(opt, network);
+  hp::workload::TrafficConfig traffic;
+  traffic.pattern = hp::workload::pattern_from_name(opt.workload);
+  traffic.pareto = opt.pareto;
+
+  hp::stats::SweepConfig config;
+  config.seed = opt.seed;
+  config.num_threads = opt.threads;
+
+  std::cout << "network         : " << network.name() << "\n"
+            << "policy          : " << policy->name() << "\n"
+            << "traffic         : "
+            << hp::workload::pattern_name(traffic.pattern)
+            << (traffic.pareto ? " + pareto flows" : " (unit flows)") << "\n";
+
+  hp::sim::ProbeResult probe;
+  hp::stats::SweepCellResult cell;
+  if (opt.probe) {
+    hp::sim::EngineConfig engine_config;
+    engine_config.num_threads = opt.threads;
+    hp::stats::EngineTrafficSystem system(network, *policy, traffic,
+                                          opt.seed, engine_config);
+    probe = hp::sim::AdmissionController(config.probe).probe(system);
+  } else {
+    cell = hp::stats::run_sweep_cell(network, *policy, traffic, config);
+    probe = cell.probe;
+  }
+
+  hp::TablePrinter trajectory(
+      {"window", "rate", "stable", "throughput", "admit", "lo", "hi"});
+  for (const auto& step : probe.trajectory) {
+    trajectory.row()
+        .add(static_cast<std::int64_t>(step.window))
+        .add(step.rate, 4)
+        .add(step.stable ? "yes" : "no")
+        .add(step.measurement.throughput, 4)
+        .add(step.measurement.admit_fraction, 3)
+        .add(step.lo, 4)
+        .add(step.hi, 4);
+  }
+  trajectory.print(std::cout);
+  std::cout << "converged       : " << (probe.converged ? "yes" : "NO")
+            << " (" << probe.windows << " windows)\n"
+            << "saturation rate : " << probe.saturation_rate
+            << " packets per node per step\n"
+            << "throughput      : " << probe.throughput_at_saturation << "\n"
+            << "mean latency    : " << probe.latency_at_saturation << "\n";
+
+  if (opt.sweep_cell && !cell.curve.empty()) {
+    hp::TablePrinter curve({"load", "rate", "throughput", "admit",
+                            "mean_lat", "p99_lat", "peak_in_flight"});
+    for (const auto& point : cell.curve) {
+      curve.row()
+          .add(point.load_fraction, 1)
+          .add(point.offered_rate, 4)
+          .add(point.throughput, 4)
+          .add(point.admit_fraction, 3)
+          .add(point.mean_latency, 1)
+          .add(point.p99_latency, 1)
+          .add(static_cast<std::int64_t>(point.peak_in_flight));
+    }
+    curve.print(std::cout);
+  }
+  return probe.converged ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -258,8 +350,32 @@ int main(int argc, char** argv) {
   try {
     if (!parse(argc, argv, opt)) return 2;
 
+    if (opt.probe && opt.sweep_cell) {
+      std::cerr << "error: --probe and --sweep-cell are mutually "
+                   "exclusive (--sweep-cell already includes the probe)\n";
+      return 2;
+    }
+    if (opt.pareto && !opt.probe && !opt.sweep_cell) {
+      std::cerr << "error: --pareto only shapes --probe/--sweep-cell "
+                   "traffic\n";
+      return 2;
+    }
+    if ((opt.probe || opt.sweep_cell) &&
+        (opt.inject_rate >= 0.0 || !opt.metrics_path.empty() ||
+         !opt.trace_path.empty() || opt.profile || opt.csv || opt.audit ||
+         !opt.save_path.empty() || !opt.load_path.empty())) {
+      std::cerr << "error: --probe/--sweep-cell cannot be combined with "
+                   "--inject/--metrics/--trace/--profile/--csv/--audit/"
+                   "--save/--load\n";
+      return 2;
+    }
+
     auto network = make_network(opt);
     if (!network) return 2;
+
+    if (opt.probe || opt.sweep_cell) {
+      return run_sweep_mode(opt, *network);
+    }
 
     if (opt.inject_rate >= 0.0) {
       // Steady-state mode constructs its engine inside

@@ -1,0 +1,287 @@
+#!/usr/bin/env python3
+"""Saturation-sweep driver: fan bench_sweep cells out in parallel and
+aggregate the per-cell JSON back into one committed artifact.
+
+The C++ side (bench/bench_sweep.cpp) measures one grid cell at a time:
+`bench_sweep --cell POLICY:PATTERN:PARETO --out cell.json` probes the
+cell's saturation point with the closed-loop admission controller and
+measures its offered-load curve. Cells are independent simulations, so
+this driver runs them concurrently (each bench process is single-job),
+then merges the per-cell files into the BENCH_sweep.json layout that
+scripts/bench_compare.py gates.
+
+Subcommands:
+  run      fan out cells in parallel, merge into --out
+             sweep.py run --bench build/bench/bench_sweep \\
+                 [--cells restricted:uniform:0,...] [--jobs N] --out X.json
+  merge    merge per-cell JSON files (duplicate entries are an error)
+             sweep.py merge --out merged.json cell1.json cell2.json ...
+  check    verify an artifact covers the full committed grid
+             sweep.py check BENCH_sweep.json
+  extract  print (and optionally CSV-dump) the per-cell saturation points
+             sweep.py extract BENCH_sweep.json [--csv points.csv]
+
+Exit: 0 = ok, 1 = failed cells / missing coverage / merge conflict,
+2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+SCHEMA = "hotpotato-bench-sweep-v1"
+
+# The committed grid — must match full_grid() in bench/bench_sweep.cpp.
+POLICIES = ("restricted", "greedy-random")
+PATTERNS = ("uniform", "hotspot", "transpose", "bit-reversal")
+LOAD_FRACTIONS = tuple(range(10, 101, 10))
+
+
+def full_grid() -> list[str]:
+    return [
+        f"{policy}:{pattern}:{pareto}"
+        for policy in POLICIES
+        for pattern in PATTERNS
+        for pareto in (0, 1)
+    ]
+
+
+def cell_key(cell: str) -> str:
+    """Entry-name prefix of one cell id (bench_sweep's Cell::key)."""
+    policy, pattern, pareto = cell.split(":")
+    pattern = "bitrev" if pattern == "bit-reversal" else pattern
+    return f"{policy}_{pattern}_p{pareto}"
+
+
+def expected_entries(cells: list[str]) -> set[str]:
+    names: set[str] = set()
+    for cell in cells:
+        key = cell_key(cell)
+        names.add(f"{key}_saturation")
+        names.update(f"{key}_load{f:03d}" for f in LOAD_FRACTIONS)
+    return names
+
+
+def load(path: pathlib.Path) -> dict:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"sweep: cannot read {path}: {e}")
+    if data.get("schema") != SCHEMA:
+        raise SystemExit(
+            f"sweep: {path} has schema {data.get('schema')!r}, want {SCHEMA}"
+        )
+    if not isinstance(data.get("entries"), dict):
+        raise SystemExit(f"sweep: {path} has no entries object")
+    return data
+
+
+def merge(paths: list[pathlib.Path]) -> tuple[dict, list[str]]:
+    """Merges per-cell artifacts; a name appearing in two inputs is a
+    conflict (the same cell ran twice), not a silent overwrite."""
+    merged: dict = {"schema": SCHEMA, "entries": {}}
+    problems: list[str] = []
+    for path in paths:
+        for name, metrics in load(path).get("entries", {}).items():
+            if name in merged["entries"]:
+                problems.append(f"duplicate entry {name} (again in {path})")
+                continue
+            merged["entries"][name] = metrics
+    return merged, problems
+
+
+def check_coverage(data: dict, cells: list[str]) -> list[str]:
+    """Missing-cell detection: every expected entry of every cell must be
+    present. A cell whose probe found a dead system legitimately has no
+    load entries — but then its _saturation entry must say so."""
+    problems: list[str] = []
+    entries = data["entries"]
+    for cell in cells:
+        key = cell_key(cell)
+        sat = entries.get(f"{key}_saturation")
+        if sat is None:
+            problems.append(f"{cell}: missing {key}_saturation")
+            continue
+        if sat.get("saturation_rate", 0) <= 0:
+            continue  # dead cell: curve legitimately absent
+        for f in LOAD_FRACTIONS:
+            if f"{key}_load{f:03d}" not in entries:
+                problems.append(f"{cell}: missing {key}_load{f:03d}")
+    return problems
+
+
+def extract_points(data: dict) -> list[dict]:
+    """The per-cell saturation summary, sorted by cell key."""
+    points = []
+    for name, metrics in sorted(data["entries"].items()):
+        if not name.endswith("_saturation"):
+            continue
+        points.append(
+            {
+                "cell": name[: -len("_saturation")],
+                "saturation_rate": metrics.get("saturation_rate", 0.0),
+                "throughput": metrics.get("throughput", 0.0),
+                "mean_latency": metrics.get("mean_latency", 0.0),
+                "converged": int(metrics.get("converged", 0)),
+            }
+        )
+    return points
+
+
+def write_json(data: dict, out: pathlib.Path) -> None:
+    entries = data["entries"]
+    with out.open("w", encoding="utf-8") as f:
+        f.write('{\n  "schema": "%s",\n  "entries": {\n' % data["schema"])
+        names = list(entries)
+        for i, name in enumerate(names):
+            metrics = ", ".join(
+                f'"{k}": {v:.12g}' for k, v in entries[name].items()
+            )
+            comma = "," if i + 1 < len(names) else ""
+            f.write(f'    "{name}": {{{metrics}}}{comma}\n')
+        f.write("  }\n}\n")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    cells = args.cells.split(",") if args.cells else full_grid()
+    bench = pathlib.Path(args.bench)
+    if not bench.exists():
+        print(f"sweep: bench binary {bench} not found", file=sys.stderr)
+        return 2
+    workdir = pathlib.Path(args.workdir or tempfile.mkdtemp(prefix="sweep."))
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    def run_cell(cell: str) -> tuple[str, pathlib.Path | None]:
+        out = workdir / f"cell_{cell_key(cell)}.json"
+        proc = subprocess.run(
+            [str(bench), "--cell", cell, "--out", str(out)],
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0 or not out.exists():
+            sys.stderr.write(proc.stdout + proc.stderr)
+            return cell, None
+        return cell, out
+
+    produced: list[pathlib.Path] = []
+    failed: list[str] = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as ex:
+        for cell, path in ex.map(run_cell, cells):
+            if path is None:
+                failed.append(cell)
+            else:
+                produced.append(path)
+                print(f"  done {cell}")
+    if failed:
+        for cell in failed:
+            print(f"sweep: cell {cell} failed", file=sys.stderr)
+        return 1
+
+    merged, problems = merge(produced)
+    problems += check_coverage(merged, cells)
+    if problems:
+        for p in problems:
+            print(f"sweep: {p}", file=sys.stderr)
+        return 1
+    write_json(merged, pathlib.Path(args.out))
+    print(f"wrote {args.out} ({len(merged['entries'])} entries, "
+          f"{len(cells)} cells)")
+    return 0
+
+
+def cmd_merge(args: argparse.Namespace) -> int:
+    merged, problems = merge([pathlib.Path(p) for p in args.inputs])
+    if problems:
+        for p in problems:
+            print(f"sweep: {p}", file=sys.stderr)
+        return 1
+    write_json(merged, pathlib.Path(args.out))
+    print(f"wrote {args.out} ({len(merged['entries'])} entries)")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    data = load(pathlib.Path(args.artifact))
+    cells = args.cells.split(",") if args.cells else full_grid()
+    problems = check_coverage(data, cells)
+    if problems:
+        for p in problems:
+            print(f"sweep: {p}", file=sys.stderr)
+        return 1
+    print(f"sweep: {args.artifact} covers all {len(cells)} cells")
+    return 0
+
+
+def cmd_extract(args: argparse.Namespace) -> int:
+    data = load(pathlib.Path(args.artifact))
+    points = extract_points(data)
+    if not points:
+        print("sweep: no *_saturation entries found", file=sys.stderr)
+        return 1
+    width = max(len(p["cell"]) for p in points)
+    print(f"{'cell':<{width}}  saturation  throughput  mean_lat  converged")
+    for p in points:
+        print(
+            f"{p['cell']:<{width}}  {p['saturation_rate']:>10.4f}  "
+            f"{p['throughput']:>10.4f}  {p['mean_latency']:>8.2f}  "
+            f"{p['converged']:>9d}"
+        )
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as f:
+            f.write("cell,saturation_rate,throughput,mean_latency,converged\n")
+            for p in points:
+                f.write(
+                    f"{p['cell']},{p['saturation_rate']:.12g},"
+                    f"{p['throughput']:.12g},{p['mean_latency']:.12g},"
+                    f"{p['converged']}\n"
+                )
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="sweep", description=__doc__.splitlines()[0]
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="fan out cells and merge")
+    run_p.add_argument("--bench", required=True,
+                       help="path to the bench_sweep binary")
+    run_p.add_argument("--out", required=True)
+    run_p.add_argument("--cells",
+                       help="comma-separated cell ids (default: full grid)")
+    run_p.add_argument("--jobs", type=int, default=4)
+    run_p.add_argument("--workdir",
+                       help="keep per-cell JSON here (default: temp dir)")
+
+    merge_p = sub.add_parser("merge", help="merge per-cell artifacts")
+    merge_p.add_argument("--out", required=True)
+    merge_p.add_argument("inputs", nargs="+")
+
+    check_p = sub.add_parser("check", help="verify grid coverage")
+    check_p.add_argument("artifact")
+    check_p.add_argument("--cells",
+                         help="comma-separated cell ids (default: full grid)")
+
+    extract_p = sub.add_parser("extract", help="saturation-point summary")
+    extract_p.add_argument("artifact")
+    extract_p.add_argument("--csv", help="also write the summary as CSV")
+
+    args = ap.parse_args(argv)
+    return {
+        "run": cmd_run,
+        "merge": cmd_merge,
+        "check": cmd_check,
+        "extract": cmd_extract,
+    }[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

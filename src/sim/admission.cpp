@@ -1,0 +1,84 @@
+#include "sim/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace hp::sim {
+
+AdmissionController::AdmissionController(ProbeConfig config)
+    : config_(config) {
+  HP_REQUIRE(config_.min_rate > 0.0, "probe floor must be positive");
+  HP_REQUIRE(config_.max_rate > config_.min_rate,
+             "probe ceiling must exceed the floor");
+  HP_REQUIRE(config_.growth > 1.0, "probe-up growth must exceed 1");
+  HP_REQUIRE(config_.tolerance > 0.0 && config_.tolerance < 1.0,
+             "convergence tolerance must be in (0, 1)");
+  HP_REQUIRE(config_.stable_fraction > 0.0 && config_.stable_fraction <= 1.0,
+             "stability fraction must be in (0, 1]");
+  HP_REQUIRE(config_.window_steps > 0, "empty probe window");
+  HP_REQUIRE(config_.max_windows >= 1, "need at least one probe window");
+}
+
+bool AdmissionController::stable(const WindowMeasurement& m) const {
+  if (m.offered_rate <= 0.0) return true;
+  if (m.admit_fraction < config_.stable_fraction) return false;
+  // Deliveries must keep up with the *realized* admissions, not the
+  // nominal knob: a pattern that exempts some nodes (transpose diagonal)
+  // can never deliver the nominal per-node rate even when perfectly
+  // stable.
+  return m.throughput >= config_.stable_fraction * m.admitted_rate;
+}
+
+ProbeResult AdmissionController::probe(LoadableSystem& system) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  ProbeResult result;
+  double lo = 0.0;    // highest rate measured stable so far
+  double hi = kInf;   // lowest rate measured unstable so far
+  WindowMeasurement at_lo;  // measurement backing the current lo
+  double rate =
+      std::clamp(config_.initial_rate, config_.min_rate, config_.max_rate);
+
+  for (int w = 0; w < config_.max_windows; ++w) {
+    const WindowMeasurement m =
+        system.run_window(rate, config_.warmup_steps, config_.window_steps);
+    const bool ok = stable(m);
+    if (ok && rate > lo) {
+      lo = rate;
+      at_lo = m;
+    }
+    if (!ok) hi = std::min(hi, rate);
+    result.trajectory.push_back({w, rate, ok, lo, hi, m});
+
+    // Termination: the ceiling held, the floor failed, or the bracket is
+    // tight enough. (max_windows bounds the loop regardless.)
+    if (lo >= config_.max_rate) {
+      result.converged = true;
+      break;
+    }
+    if (hi <= config_.min_rate) break;  // dead system: report, don't hang
+    if (std::isfinite(hi) && hi - lo <= config_.tolerance * hi) {
+      result.converged = lo > 0.0;
+      break;
+    }
+
+    // Steering: multiplicative probe-up until some rate fails, then plain
+    // bisection of the (lo, hi) bracket.
+    if (!std::isfinite(hi)) {
+      rate = std::min(rate * config_.growth, config_.max_rate);
+    } else {
+      rate = 0.5 * (lo + hi);
+    }
+    rate = std::clamp(rate, config_.min_rate, config_.max_rate);
+  }
+
+  result.windows = static_cast<int>(result.trajectory.size());
+  result.saturation_rate = lo;
+  result.throughput_at_saturation = at_lo.throughput;
+  result.latency_at_saturation = at_lo.mean_latency;
+  return result;
+}
+
+}  // namespace hp::sim

@@ -2,50 +2,10 @@
 
 #include "sim/engine.hpp"
 #include "sim/injection.hpp"
+#include "stats/window.hpp"
 #include "util/check.hpp"
-#include "util/stats.hpp"
 
 namespace hp::stats {
-
-namespace {
-
-/// Streams the measurement window's statistics off the step records: the
-/// in-flight population, and per-arrival latency/deflections as packets are
-/// delivered. Nothing is retained per packet, so measurement windows of any
-/// length run in O(in-flight) memory (the engine's arrival archive is off).
-class WindowProbe : public sim::StepObserver {
- public:
-  explicit WindowProbe(std::uint64_t warmup) : warmup_(warmup) {}
-
-  void on_step(const sim::Engine& /*engine*/,
-               const sim::StepRecord& record) override {
-    if (record.step < warmup_) return;
-    in_flight_.add(static_cast<double>(record.assignments.size()));
-    for (const sim::Packet& p : record.arrivals) {
-      // record.arrivals carries arrived_at == record.step + 1 > warmup_:
-      // exactly the arrivals inside the measurement window.
-      ++delivered_;
-      deflections_ += p.deflections;
-      if (p.injected_at >= warmup_) {
-        latency_.add(static_cast<double>(p.arrived_at - p.injected_at));
-      }
-    }
-  }
-
-  const RunningStat& in_flight() const { return in_flight_; }
-  const Samples& latency() const { return latency_; }
-  std::uint64_t delivered() const { return delivered_; }
-  std::uint64_t deflections() const { return deflections_; }
-
- private:
-  std::uint64_t warmup_;
-  RunningStat in_flight_;
-  Samples latency_;
-  std::uint64_t delivered_ = 0;
-  std::uint64_t deflections_ = 0;
-};
-
-}  // namespace
 
 SteadyStateReport measure_steady_state(const net::Network& network,
                                        sim::RoutingPolicy& policy,
@@ -63,7 +23,11 @@ SteadyStateReport measure_steady_state(const net::Network& network,
   sim::Engine engine(network, empty, policy, config);
   sim::BernoulliInjector injector(rate, seed ^ 0x5bd1e995u);
   engine.set_injector(&injector);
-  WindowProbe probe(warmup);
+  // The shared window observer streams the measurement window's stats off
+  // the step records in O(in-flight) memory; steps before `warmup` and
+  // latencies of warmup-injected packets are excluded.
+  WindowStats probe;
+  probe.begin_window(/*start_step=*/warmup, /*injected_floor=*/warmup);
   engine.add_observer(&probe);
 
   engine.run_for(warmup + measure);
@@ -84,7 +48,7 @@ SteadyStateReport measure_steady_state(const net::Network& network,
     report.mean_latency = probe.latency().mean();
     report.p99_latency = probe.latency().percentile(0.99);
   }
-  report.mean_in_flight = probe.in_flight().mean();
+  report.mean_in_flight = probe.population().mean();
   report.deflections_per_delivered =
       probe.delivered() == 0
           ? 0.0

@@ -1,0 +1,38 @@
+#include "stats/window.hpp"
+
+#include <algorithm>
+
+namespace hp::stats {
+
+void WindowStats::begin_window(std::uint64_t start_step,
+                               std::uint64_t injected_floor) {
+  start_step_ = start_step;
+  injected_floor_ = injected_floor;
+  population_ = RunningStat();
+  in_flight_after_ = RunningStat();
+  latency_ = Samples();
+  peak_ = 0;
+  steps_ = 0;
+  delivered_ = 0;
+  deflections_ = 0;
+}
+
+void WindowStats::on_step(const sim::Engine& /*engine*/,
+                          const sim::StepRecord& record) {
+  if (record.step < start_step_) return;
+  ++steps_;
+  population_.add(static_cast<double>(record.assignments.size()));
+  in_flight_after_.add(static_cast<double>(record.in_flight_after));
+  peak_ = std::max(peak_, record.in_flight_after);
+  for (const sim::Packet& p : record.arrivals) {
+    // record.arrivals carries arrived_at == record.step + 1 > start_step_:
+    // exactly the arrivals inside the window.
+    ++delivered_;
+    deflections_ += p.deflections;
+    if (p.injected_at >= injected_floor_) {
+      latency_.add(static_cast<double>(p.arrived_at - p.injected_at));
+    }
+  }
+}
+
+}  // namespace hp::stats

@@ -1,0 +1,53 @@
+// Per-window step statistics, shared by every measurement harness that
+// slices a continuous-injection run into fixed step windows: the
+// steady-state reporter (steady_state.cpp), the closed-loop admission
+// controller's engine adapter (sweep.cpp), and the bench drivers. One
+// observer instance stays attached across windows; begin_window() rolls
+// it over at a boundary. Everything here is virtual-time only, so the
+// numbers are bit-identical across engine thread counts.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/observer.hpp"
+#include "util/stats.hpp"
+
+namespace hp::stats {
+
+class WindowStats final : public sim::StepObserver {
+ public:
+  /// Starts a fresh window. Steps before `start_step` are ignored (warmup
+  /// exclusion when the observer is attached before the window opens);
+  /// latency samples are taken only from packets injected at or after
+  /// `injected_floor`, so cross-window stragglers inflate nothing.
+  void begin_window(std::uint64_t start_step = 0,
+                    std::uint64_t injected_floor = 0);
+
+  void on_step(const sim::Engine& engine,
+               const sim::StepRecord& record) override;
+
+  /// Pre-move population: packets routed in the step (each packet counts
+  /// once per step it spent in the network — the L of Little's law).
+  const RunningStat& population() const { return population_; }
+  /// Post-move in-flight count (after this step's absorptions).
+  const RunningStat& in_flight_after() const { return in_flight_after_; }
+  std::size_t peak_in_flight() const { return peak_; }
+
+  const Samples& latency() const { return latency_; }
+  std::uint64_t steps() const { return steps_; }
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t deflections() const { return deflections_; }
+
+ private:
+  std::uint64_t start_step_ = 0;
+  std::uint64_t injected_floor_ = 0;
+  RunningStat population_;
+  RunningStat in_flight_after_;
+  Samples latency_;
+  std::size_t peak_ = 0;
+  std::uint64_t steps_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t deflections_ = 0;
+};
+
+}  // namespace hp::stats

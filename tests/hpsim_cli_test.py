@@ -106,6 +106,76 @@ def test_missing_values(hpsim):
               f"exit={proc.returncode}")
 
 
+def probe_args(*extra):
+    return [
+        "--topology", "mesh", "--n", "6", "--workload", "uniform",
+        "--policy", "restricted", "--seed", "3", *extra,
+    ]
+
+
+def test_probe_mode(hpsim):
+    proc = run(hpsim, "--probe", *probe_args())
+    check("probe run exits 0", proc.returncode == 0, proc.stderr)
+    check("probe prints trajectory header",
+          "window" in proc.stdout and "stable" in proc.stdout)
+    check("probe prints saturation", "saturation rate" in proc.stdout)
+    check("probe converged", "converged       : yes" in proc.stdout)
+
+    pareto = run(hpsim, "--probe", *probe_args("--pareto"))
+    check("probe --pareto exits 0", pareto.returncode == 0, pareto.stderr)
+    check("probe --pareto labels the traffic",
+          "pareto flows" in pareto.stdout)
+    check("pareto changes the trajectory", pareto.stdout != proc.stdout)
+
+
+def test_sweep_cell_mode(hpsim):
+    proc = run(hpsim, "--sweep-cell", *probe_args())
+    check("sweep-cell run exits 0", proc.returncode == 0, proc.stderr)
+    check("sweep-cell prints the load curve",
+          "load" in proc.stdout and "peak_in_flight" in proc.stdout)
+    curve_rows = [
+        line for line in proc.stdout.splitlines()
+        if line.strip().startswith("0.") or line.strip().startswith("1.0")
+    ]
+    check("sweep-cell curve has 10 load points", len(curve_rows) == 10,
+          f"got {len(curve_rows)}")
+
+
+def test_probe_determinism_across_threads(hpsim):
+    outputs = []
+    for threads in ("1", "4"):
+        proc = run(hpsim, "--probe", *probe_args("--threads", threads))
+        check(f"probe --threads {threads} exits 0", proc.returncode == 0,
+              proc.stderr)
+        outputs.append(proc.stdout)
+    check("probe output identical across threads",
+          outputs[0] == outputs[1])
+
+
+def test_probe_conflicts(hpsim, tmp):
+    # Same convention as --inject vs the batch-only observability flags:
+    # incompatible modes exit 2 and the message names the flags.
+    for mode in ("--probe", "--sweep-cell"):
+        for flag in (["--metrics", str(tmp / "x.json")],
+                     ["--trace", str(tmp / "x.trace")],
+                     ["--profile"], ["--csv"], ["--audit"],
+                     ["--inject", "0.1"]):
+            proc = run(hpsim, mode, *probe_args(), *flag)
+            check(f"{mode} rejects {flag[0]}", proc.returncode == 2,
+                  f"exit={proc.returncode}")
+            check(f"{mode} {flag[0]} conflict names the mode",
+                  mode in proc.stderr)
+    both = run(hpsim, "--probe", "--sweep-cell", *probe_args())
+    check("--probe --sweep-cell exits 2", both.returncode == 2,
+          f"exit={both.returncode}")
+    lone = run(hpsim, "--pareto", *probe_args())
+    check("--pareto alone exits 2", lone.returncode == 2,
+          f"exit={lone.returncode}")
+    batch_pattern = run(hpsim, "--probe", *batch_args())
+    check("--probe rejects batch workload names",
+          batch_pattern.returncode == 2, f"exit={batch_pattern.returncode}")
+
+
 def main():
     if len(sys.argv) != 2:
         print("usage: hpsim_cli_test.py /path/to/hpsim", file=sys.stderr)
@@ -118,6 +188,10 @@ def main():
         test_thread_count_invariance(hpsim, tmp)
         test_conflicting_flags(hpsim, tmp)
         test_missing_values(hpsim)
+        test_probe_mode(hpsim)
+        test_sweep_cell_mode(hpsim)
+        test_probe_determinism_across_threads(hpsim)
+        test_probe_conflicts(hpsim, tmp)
     if FAILURES:
         print(f"{len(FAILURES)} failure(s): {', '.join(FAILURES)}")
         return 1
