@@ -32,6 +32,7 @@
 #include "routing/restricted_priority.hpp"
 #include "routing/single_target.hpp"
 #include "sim/admission.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/engine.hpp"
 #include "sim/injection.hpp"
 #include "stats/recorder.hpp"
@@ -68,6 +69,11 @@ struct Options {
   bool probe = false;        // closed-loop saturation probe
   bool sweep_cell = false;   // probe + offered-load curve (one sweep cell)
   bool pareto = false;       // heavy-tailed Pareto flow sizes
+  std::string checkpoint_path;      // write an engine checkpoint here
+  std::uint64_t checkpoint_at = 0;  // checkpoint after this step (0 = end)
+  std::string restore_path;         // resume from this checkpoint
+  bool fingerprint = false;         // print the end-of-run state fingerprint
+  bool scale = false;               // memory-lean engine profile
 };
 
 void usage() {
@@ -111,6 +117,20 @@ void usage() {
                                     0.1-1.0 offered-load curve
   --pareto                          heavy-tailed Pareto flow sizes for
                                     --probe/--sweep-cell traffic
+  --checkpoint PATH                 write an engine checkpoint (at the step
+                                    named by --checkpoint-at, else at the
+                                    end of the run); batch mode only
+  --checkpoint-at T                 checkpoint after step T, then keep
+                                    running (requires --checkpoint)
+  --restore PATH                    resume a checkpointed run; needs the
+                                    same topology/policy/seed flags the
+                                    checkpoint was written under; batch
+                                    mode only, excludes --load/--save
+  --fingerprint                     print the end-of-run engine state
+                                    fingerprint (docs/SCALE.md)
+  --scale                           memory-lean engine profile: no topology
+                                    caches, 32-bit flight columns; results
+                                    are bit-identical; batch mode only
   --help
 )";
 }
@@ -256,6 +276,16 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.sweep_cell = true;
     } else if (arg == "--pareto") {
       opt.pareto = true;
+    } else if (arg == "--checkpoint") {
+      opt.checkpoint_path = value();
+    } else if (arg == "--checkpoint-at") {
+      opt.checkpoint_at = std::stoull(value());
+    } else if (arg == "--restore") {
+      opt.restore_path = value();
+    } else if (arg == "--fingerprint") {
+      opt.fingerprint = true;
+    } else if (arg == "--scale") {
+      opt.scale = true;
     } else if (arg == "--audit") {
       opt.audit = true;
     } else if (arg == "--csv") {
@@ -360,13 +390,33 @@ int main(int argc, char** argv) {
                    "traffic\n";
       return 2;
     }
+    const bool checkpoint_flags = !opt.checkpoint_path.empty() ||
+                                  !opt.restore_path.empty() ||
+                                  opt.fingerprint;
     if ((opt.probe || opt.sweep_cell) &&
         (opt.inject_rate >= 0.0 || !opt.metrics_path.empty() ||
          !opt.trace_path.empty() || opt.profile || opt.csv || opt.audit ||
-         !opt.save_path.empty() || !opt.load_path.empty())) {
+         !opt.save_path.empty() || !opt.load_path.empty() ||
+         checkpoint_flags || opt.scale)) {
       std::cerr << "error: --probe/--sweep-cell cannot be combined with "
                    "--inject/--metrics/--trace/--profile/--csv/--audit/"
-                   "--save/--load\n";
+                   "--save/--load/--checkpoint/--restore/--fingerprint/"
+                   "--scale\n";
+      return 2;
+    }
+    if (opt.inject_rate >= 0.0 && (checkpoint_flags || opt.scale)) {
+      std::cerr << "error: --checkpoint/--restore/--fingerprint/--scale are "
+                   "batch-mode flags and cannot be combined with --inject\n";
+      return 2;
+    }
+    if (opt.checkpoint_at > 0 && opt.checkpoint_path.empty()) {
+      std::cerr << "error: --checkpoint-at needs --checkpoint\n";
+      return 2;
+    }
+    if (!opt.restore_path.empty() &&
+        (!opt.load_path.empty() || !opt.save_path.empty())) {
+      std::cerr << "error: --restore resumes a checkpointed instance and "
+                   "cannot be combined with --load/--save\n";
       return 2;
     }
 
@@ -409,12 +459,19 @@ int main(int argc, char** argv) {
     }
 
     hp::Rng rng(opt.seed);
-    auto problem = opt.load_path.empty()
-                       ? make_workload(opt, *network, rng)
-                       : hp::workload::load_problem(opt.load_path);
-    problem.validate(*network);
-    if (!opt.save_path.empty()) {
-      hp::workload::save_problem(opt.save_path, problem);
+    hp::workload::Problem problem;
+    if (opt.restore_path.empty()) {
+      problem = opt.load_path.empty()
+                    ? make_workload(opt, *network, rng)
+                    : hp::workload::load_problem(opt.load_path);
+      problem.validate(*network);
+      if (!opt.save_path.empty()) {
+        hp::workload::save_problem(opt.save_path, problem);
+      }
+    } else {
+      // The restored packets come from the checkpoint, not a workload:
+      // the engine must start empty for restore_checkpoint to accept it.
+      problem.name = "restored";
     }
     auto policy = make_policy(opt, *network);
 
@@ -423,7 +480,11 @@ int main(int argc, char** argv) {
     config.seed = opt.seed;
     config.num_threads = opt.threads;
     config.profile = opt.profile;
+    if (opt.scale) config.memory = hp::sim::MemoryProfile::kLean;
     hp::sim::Engine engine(*network, problem, *policy, config);
+    if (!opt.restore_path.empty()) {
+      hp::sim::restore_checkpoint(engine, opt.restore_path);
+    }
 
     // Optional instrumentation.
     const auto* mesh = dynamic_cast<const hp::net::Mesh*>(network.get());
@@ -472,7 +533,19 @@ int main(int argc, char** argv) {
       }
     }
 
-    const auto result = engine.run();
+    hp::sim::RunResult result;
+    if (!opt.checkpoint_path.empty() && opt.checkpoint_at > 0) {
+      // Mid-run checkpoint: run to the requested step boundary, save,
+      // then keep running (max_steps still caps the whole run).
+      engine.run_for(opt.checkpoint_at);
+      hp::sim::save_checkpoint(engine, opt.checkpoint_path);
+      result = engine.run();
+    } else {
+      result = engine.run();
+      if (!opt.checkpoint_path.empty()) {
+        hp::sim::save_checkpoint(engine, opt.checkpoint_path);
+      }
+    }
 
     if (metrics) {
       std::ofstream out(opt.metrics_path);
@@ -539,6 +612,10 @@ int main(int argc, char** argv) {
         }
         std::cout << " violations\n";
       }
+    }
+    if (opt.fingerprint) {
+      std::cout << "state fingerprint : 0x" << std::hex
+                << hp::sim::state_fingerprint(engine) << std::dec << "\n";
     }
     return result.completed ? 0 : 1;
   } catch (const hp::CheckError& e) {

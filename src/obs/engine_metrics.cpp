@@ -2,6 +2,8 @@
 
 #include <cstddef>
 
+#include "sim/engine.hpp"
+
 namespace hp::obs {
 
 EngineMetrics::EngineMetrics(MetricsRegistry& registry, Config config)
@@ -24,7 +26,7 @@ EngineMetrics::EngineMetrics(MetricsRegistry& registry, Config config)
       occupancy_(registry.distribution("node.occupancy", 0.0, 32.0, 32)),
       in_flight_(registry.distribution("step.in_flight", 0.0, 4096.0, 64)) {}
 
-void EngineMetrics::on_step(const sim::Engine& /*engine*/,
+void EngineMetrics::on_step(const sim::Engine& engine,
                             const sim::StepRecord& record) {
   steps_.add(1);
   in_flight_now_.set(static_cast<double>(record.in_flight_after));
@@ -72,6 +74,9 @@ void EngineMetrics::on_step(const sim::Engine& /*engine*/,
   if (surface_ != nullptr) {
     surface_gauges(*surface_);
   }
+  if (config_.memory_gauges) {
+    memory_gauges(engine);
+  }
 }
 
 void EngineMetrics::potential_gauges(const core::PotentialTracker& tracker) {
@@ -80,6 +85,25 @@ void EngineMetrics::potential_gauges(const core::PotentialTracker& tracker) {
   registry_->gauge("potential.phi").set(static_cast<double>(tracker.phi()));
   registry_->gauge("potential.min_slack")
       .set(static_cast<double>(tracker.min_slack()));
+}
+
+void EngineMetrics::memory_gauges(const sim::Engine& engine) {
+  // Resolved lazily: the gauges only exist when Config::memory_gauges is
+  // on. Capacity accounting, so values are report-only (see the Config
+  // comment) — never compare them across thread counts.
+  const sim::EngineMemoryStats stats = engine.memory_stats();
+  registry_->gauge("engine.memory.total_bytes")
+      .set(static_cast<double>(stats.total()));
+  registry_->gauge("engine.memory.topology_bytes")
+      .set(static_cast<double>(stats.topology_bytes));
+  registry_->gauge("engine.memory.occupancy_bytes")
+      .set(static_cast<double>(stats.occupancy_bytes));
+  registry_->gauge("engine.memory.flight_bytes")
+      .set(static_cast<double>(stats.flight_bytes));
+  registry_->gauge("engine.memory.archive_bytes")
+      .set(static_cast<double>(stats.archive_bytes));
+  registry_->gauge("engine.memory.scratch_bytes")
+      .set(static_cast<double>(stats.scratch_bytes));
 }
 
 void EngineMetrics::surface_gauges(const core::SurfaceTracker& tracker) {

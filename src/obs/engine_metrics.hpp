@@ -31,6 +31,11 @@ class EngineMetrics : public sim::StepObserver {
     /// Definition 9 bad-node threshold d (a node is bad when it holds
     /// more than `bad_threshold` packets).
     int bad_threshold = 2;
+    /// Mirror Engine::memory_stats() into engine.memory.* gauges each
+    /// step. Off by default: the gauges query the engine (capacities vary
+    /// with thread count), so snapshots of runs that enable this are
+    /// reporting data, not deterministic artifacts.
+    bool memory_gauges = false;
   };
 
   explicit EngineMetrics(MetricsRegistry& registry)
@@ -56,6 +61,7 @@ class EngineMetrics : public sim::StepObserver {
  private:
   void potential_gauges(const core::PotentialTracker& tracker);
   void surface_gauges(const core::SurfaceTracker& tracker);
+  void memory_gauges(const sim::Engine& engine);
 
   MetricsRegistry* registry_;
   Config config_;

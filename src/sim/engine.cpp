@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <type_traits>
 
 #include "obs/profiler.hpp"
 #include "util/check.hpp"
@@ -119,27 +120,33 @@ Engine::Engine(const net::Network& net, const workload::Problem& problem,
     : net_(net),
       policy_(policy),
       config_(config),
+      lean_(config.memory == MemoryProfile::kLean),
+      flight_(config.memory == MemoryProfile::kLean ? ColumnWidth::kCompact
+                                                    : ColumnWidth::kWide),
       occupancy_(net.num_nodes()),
       node_stamp_(net.num_nodes(), ~std::uint64_t{0}) {
   HP_REQUIRE(config_.num_threads >= 1 && config_.num_threads <= 512,
              "num_threads must be in [1, 512]");
+  archive_.configure(config_.archive);
   archive_.set_keep_records(config_.archive_arrivals);
 
   num_dirs_ = net.num_dirs();
   num_nodes_ = net.num_nodes();
   const auto n = num_nodes_;
-  degree_.resize(n);
-  avail_dirs_.resize(n);
-  neighbor_table_.resize(n * static_cast<std::size_t>(num_dirs_));
-  for (std::size_t v = 0; v < n; ++v) {
-    const auto node = static_cast<net::NodeId>(v);
-    for (net::Dir d = 0; d < num_dirs_; ++d) {
-      const net::NodeId nb = net.neighbor(node, d);
-      neighbor_table_[v * static_cast<std::size_t>(num_dirs_) +
-                      static_cast<std::size_t>(d)] = nb;
-      if (nb != net::kInvalidNode) {
-        avail_dirs_[v].push_back(d);
-        ++degree_[v];
+  if (!lean_) {
+    degree_.resize(n);
+    avail_dirs_.resize(n);
+    neighbor_table_.resize(n * static_cast<std::size_t>(num_dirs_));
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto node = static_cast<net::NodeId>(v);
+      for (net::Dir d = 0; d < num_dirs_; ++d) {
+        const net::NodeId nb = net.neighbor(node, d);
+        neighbor_table_[v * static_cast<std::size_t>(num_dirs_) +
+                        static_cast<std::size_t>(d)] = nb;
+        if (nb != net::kInvalidNode) {
+          avail_dirs_[v].push_back(d);
+          ++degree_[v];
+        }
       }
     }
   }
@@ -216,6 +223,9 @@ net::NodeId Engine::packet_dst(PacketId id) const {
 std::vector<Packet> Engine::snapshot_packets() const {
   HP_REQUIRE(config_.archive_arrivals,
              "snapshot_packets() needs archive_arrivals = true");
+  HP_REQUIRE(archive_.mode() == ArchiveMode::kMemory,
+             "snapshot_packets() needs the in-memory arrival archive; spill "
+             "and sample modes drop or reorder records");
   std::vector<Packet> out(static_cast<std::size_t>(next_id_));
   for (const Packet& p : archive_.records()) {
     out[static_cast<std::size_t>(p.id)] = p;
@@ -224,6 +234,40 @@ std::vector<Packet> Engine::snapshot_packets() const {
     out[static_cast<std::size_t>(flight_.id(s))] = flight_.materialize(s);
   }
   return out;
+}
+
+net::DirList Engine::node_avail_dirs(net::NodeId node) const {
+  if (!lean_) return avail_dirs_[static_cast<std::size_t>(node)];
+  // Lean profile: probe the arcs on demand. Same ascending order the
+  // cache-building loop produces, so both profiles hand policies an
+  // identical NodeContext.
+  net::DirList dirs;
+  for (net::Dir d = 0; d < num_dirs_; ++d) {
+    if (net_.neighbor(node, d) != net::kInvalidNode) dirs.push_back(d);
+  }
+  return dirs;
+}
+
+EngineMemoryStats Engine::memory_stats() const {
+  const auto vec_bytes = [](const auto& v) {
+    return v.capacity() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+  };
+  EngineMemoryStats stats;
+  stats.topology_bytes =
+      vec_bytes(degree_) + vec_bytes(avail_dirs_) + vec_bytes(neighbor_table_);
+  stats.occupancy_bytes =
+      vec_bytes(occupancy_) + vec_bytes(occupied_) + vec_bytes(node_stamp_);
+  stats.flight_bytes = flight_.memory_bytes();
+  stats.archive_bytes = archive_.memory_bytes();
+  stats.scratch_bytes = vec_bytes(assignments_) + vec_bytes(step_arrivals_) +
+                        vec_bytes(good_mask_) + vec_bytes(epoch_ns_) +
+                        vec_bytes(shards_) + vec_bytes(scatter_);
+  for (const ShardState& s : shards_) {
+    stats.scratch_bytes += vec_bytes(s.route_buf) + vec_bytes(s.occ_nodes) +
+                           vec_bytes(s.arrivals);
+  }
+  for (const auto& row : scatter_) stats.scratch_bytes += vec_bytes(row);
+  return stats;
 }
 
 std::vector<PacketId> Engine::packets_at(net::NodeId node) const {
@@ -460,7 +504,7 @@ bool Engine::try_inject(net::NodeId src, net::NodeId dst) {
     occupancy_[node].clear();
     occupied_.push_back(src);
   }
-  if (static_cast<int>(occupancy_[node].size()) >= degree_[node]) {
+  if (static_cast<int>(occupancy_[node].size()) >= node_degree(src)) {
     return false;
   }
   ++next_id_;
@@ -473,13 +517,11 @@ bool Engine::try_inject(net::NodeId src, net::NodeId dst) {
 
 void Engine::route_node(net::NodeId node, const Bucket& residents,
                         std::vector<Assignment>& out) {
-  HP_CHECK(static_cast<int>(residents.size()) <=
-               degree_[static_cast<std::size_t>(node)],
+  HP_CHECK(static_cast<int>(residents.size()) <= node_degree(node),
            "more packets at a node than its degree — model violation");
 
   Rng node_rng(node_stream_seed(config_.seed, now_, node));
-  NodeContext ctx{net_, node, now_,
-                  avail_dirs_[static_cast<std::size_t>(node)], node_rng};
+  NodeContext ctx{net_, node, now_, node_avail_dirs(node), node_rng};
 
   InlineVector<PacketView, 2 * net::kMaxDim> views;
   for (PacketId id : residents) {
@@ -512,10 +554,7 @@ void Engine::route_node(net::NodeId node, const Bucket& residents,
     const net::Dir d = dirs[i];
     HP_CHECK(d >= 0 && d < net_.num_dirs(),
              "policy '" + policy_.name() + "' returned an invalid direction");
-    HP_CHECK(neighbor_table_[static_cast<std::size_t>(node) *
-                                 static_cast<std::size_t>(num_dirs_) +
-                             static_cast<std::size_t>(d)] !=
-                 net::kInvalidNode,
+    HP_CHECK(arc_target(node, d) != net::kInvalidNode,
              "policy '" + policy_.name() + "' routed a packet off the mesh");
     const std::uint32_t bit = std::uint32_t{1} << d;
     HP_CHECK((used_mask & bit) == 0,
@@ -588,10 +627,7 @@ void Engine::move_range(std::size_t task, std::size_t begin,
     const FlightTable::Slot s = flight_.slot_of(a.pkt);
     HP_CHECK(s != FlightTable::kNoSlot,
              "assignment for a packet that is not in flight");
-    const net::NodeId to =
-        neighbor_table_[static_cast<std::size_t>(a.node) *
-                            static_cast<std::size_t>(num_dirs_) +
-                        static_cast<std::size_t>(a.out)];
+    const net::NodeId to = arc_target(a.node, a.out);
     HP_CHECK(to != net::kInvalidNode, "movement off the network");
     flight_.move(s, to, a.out, a.advances, a.num_good);
     if (a.advances) {
@@ -684,7 +720,9 @@ RunResult Engine::make_result() {
   result.total_deflections = total_deflections_;
   result.total_advances = total_advances_;
   result.num_packets = num_packets();
-  if (config_.archive_arrivals) result.packets = snapshot_packets();
+  if (config_.archive_arrivals && archive_.mode() == ArchiveMode::kMemory) {
+    result.packets = snapshot_packets();
+  }
   return result;
 }
 

@@ -1,14 +1,43 @@
 #include "sim/flight_table.hpp"
 
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <type_traits>
+
 #include "util/check.hpp"
 
 namespace hp::sim {
+
+namespace {
+
+constexpr std::uint64_t kU32Max = std::numeric_limits<std::uint32_t>::max();
+
+std::uint32_t narrow_u32(std::uint64_t v, const char* column) {
+  HP_CHECK(v <= kU32Max, std::string("compact FlightTable column '") +
+                             column + "' overflows 32 bits (value " +
+                             std::to_string(v) + "); use ColumnWidth::kWide");
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
 
 void FlightTable::push_locator(PacketId id, Slot slot) {
   const auto i = static_cast<std::uint64_t>(static_cast<std::uint32_t>(id));
   HP_CHECK(i == id_base_ + locator_.size(),
            "FlightTable ids must be issued densely and in order");
   locator_.push_back(slot);
+}
+
+void FlightTable::bump_deflections(std::size_t i) {
+  if (compact_) {
+    HP_CHECK(deflections32_[i] != kU32Max,
+             "compact FlightTable column 'deflections' overflows 32 bits; "
+             "use ColumnWidth::kWide");
+    ++deflections32_[i];
+  } else {
+    ++deflections64_[i];
+  }
 }
 
 Packet FlightTable::materialize(Slot s) const {
@@ -21,9 +50,9 @@ Packet FlightTable::materialize(Slot s) const {
   p.last_move_dir = entry_dir_[i];
   p.prev_advanced = prev_advanced_[i] != 0;
   p.prev_num_good = prev_num_good_[i];
-  p.injected_at = injected_at_[i];
+  p.injected_at = injected_at(s);
   p.arrived_at = kNotArrived;
-  p.deflections = deflections_[i];
+  p.deflections = deflections(s);
   p.initial_distance = initial_distance_[i];
   return p;
 }
@@ -37,8 +66,13 @@ FlightTable::Slot FlightTable::insert(const Packet& p) {
   entry_dir_.push_back(p.last_move_dir);
   prev_advanced_.push_back(p.prev_advanced ? 1 : 0);
   prev_num_good_.push_back(static_cast<std::int8_t>(p.prev_num_good));
-  injected_at_.push_back(p.injected_at);
-  deflections_.push_back(p.deflections);
+  if (compact_) {
+    injected_at32_.push_back(narrow_u32(p.injected_at, "injected_at"));
+    deflections32_.push_back(narrow_u32(p.deflections, "deflections"));
+  } else {
+    injected_at64_.push_back(p.injected_at);
+    deflections64_.push_back(p.deflections);
+  }
   initial_distance_.push_back(p.initial_distance);
   push_locator(p.id, slot);
   return slot;
@@ -63,8 +97,13 @@ Packet FlightTable::remove(Slot s, std::uint64_t arrived_at) {
     entry_dir_[i] = entry_dir_[last];
     prev_advanced_[i] = prev_advanced_[last];
     prev_num_good_[i] = prev_num_good_[last];
-    injected_at_[i] = injected_at_[last];
-    deflections_[i] = deflections_[last];
+    if (compact_) {
+      injected_at32_[i] = injected_at32_[last];
+      deflections32_[i] = deflections32_[last];
+    } else {
+      injected_at64_[i] = injected_at64_[last];
+      deflections64_[i] = deflections64_[last];
+    }
     initial_distance_[i] = initial_distance_[last];
     const auto moved =
         static_cast<std::uint64_t>(static_cast<std::uint32_t>(ids_[i]));
@@ -78,8 +117,13 @@ Packet FlightTable::remove(Slot s, std::uint64_t arrived_at) {
   entry_dir_.pop_back();
   prev_advanced_.pop_back();
   prev_num_good_.pop_back();
-  injected_at_.pop_back();
-  deflections_.pop_back();
+  if (compact_) {
+    injected_at32_.pop_back();
+    deflections32_.pop_back();
+  } else {
+    injected_at64_.pop_back();
+    deflections64_.pop_back();
+  }
   initial_distance_.pop_back();
 
   reclaim_locator_prefix();
@@ -97,19 +141,304 @@ void FlightTable::reclaim_locator_prefix() {
   }
 }
 
+void FlightTable::reset_window(std::uint64_t id_base, std::uint64_t window) {
+  HP_REQUIRE(empty() && id_base_ == 0 && locator_.empty(),
+             "reset_window needs a fresh, empty FlightTable");
+  HP_REQUIRE(id_base + window <= kU32Max + 1,
+             "locator window exceeds the 32-bit id space");
+  id_base_ = id_base;
+  locator_.assign(static_cast<std::size_t>(window), kNoSlot);
+  head_ = 0;
+}
+
+void FlightTable::serialize(util::BinWriter& out) const {
+  out.u64(id_base_);
+  out.u64(locator_.size());
+  out.u64(head_);
+  out.u64(size());
+  for (Slot s = 0; s < end_slot(); ++s) {
+    const auto i = idx(s);
+    out.i32(ids_[i]);
+    out.i32(src_[i]);
+    out.i32(dst_[i]);
+    out.i32(pos_[i]);
+    out.i8(entry_dir_[i]);
+    out.u8(prev_advanced_[i]);
+    out.i8(prev_num_good_[i]);
+    out.u64(injected_at(s));
+    out.u64(deflections(s));
+    out.i32(initial_distance_[i]);
+  }
+}
+
+void FlightTable::deserialize(util::BinReader& in) {
+  HP_REQUIRE(empty() && id_base_ == 0 && locator_.empty(),
+             "deserialize needs a fresh, empty FlightTable");
+  const std::uint64_t id_base = in.u64();
+  const std::uint64_t window = in.u64();
+  const std::uint64_t head = in.u64();
+  const std::uint64_t count = in.u64();
+  HP_REQUIRE(id_base + window <= kU32Max + 1 && head <= window &&
+                 count <= window,
+             "checkpoint is corrupt (inconsistent FlightTable window)");
+  reset_window(id_base, window);
+  head_ = static_cast<std::size_t>(head);
+  for (std::uint64_t r = 0; r < count; ++r) {
+    Packet p;
+    p.id = in.i32();
+    p.src = in.i32();
+    p.dst = in.i32();
+    p.pos = in.i32();
+    p.last_move_dir = in.i8();
+    p.prev_advanced = in.u8() != 0;
+    p.prev_num_good = in.i8();
+    p.injected_at = in.u64();
+    p.deflections = in.u64();
+    p.initial_distance = in.i32();
+
+    const auto slot = static_cast<Slot>(ids_.size());
+    ids_.push_back(p.id);
+    src_.push_back(p.src);
+    dst_.push_back(p.dst);
+    pos_.push_back(p.pos);
+    entry_dir_.push_back(p.last_move_dir);
+    prev_advanced_.push_back(p.prev_advanced ? 1 : 0);
+    prev_num_good_.push_back(static_cast<std::int8_t>(p.prev_num_good));
+    if (compact_) {
+      injected_at32_.push_back(narrow_u32(p.injected_at, "injected_at"));
+      deflections32_.push_back(narrow_u32(p.deflections, "deflections"));
+    } else {
+      injected_at64_.push_back(p.injected_at);
+      deflections64_.push_back(p.deflections);
+    }
+    initial_distance_.push_back(p.initial_distance);
+
+    const auto i = static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.id));
+    HP_REQUIRE(i >= id_base_ && i - id_base_ < locator_.size(),
+               "checkpoint is corrupt (in-flight id outside the locator "
+               "window)");
+    Slot& entry = locator_[static_cast<std::size_t>(i - id_base_)];
+    HP_REQUIRE(entry == kNoSlot,
+               "checkpoint is corrupt (duplicate in-flight packet id)");
+    entry = slot;
+  }
+}
+
+std::size_t FlightTable::memory_bytes() const {
+  auto bytes = [](const auto& v) {
+    return v.capacity() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+  };
+  return bytes(ids_) + bytes(src_) + bytes(dst_) + bytes(pos_) +
+         bytes(entry_dir_) + bytes(prev_advanced_) + bytes(prev_num_good_) +
+         bytes(injected_at64_) + bytes(deflections64_) +
+         bytes(injected_at32_) + bytes(deflections32_) +
+         bytes(initial_distance_) + bytes(locator_);
+}
+
+// --- ArrivalLog -------------------------------------------------------------
+
+void write_packet_record(util::BinWriter& out, const Packet& p) {
+  out.i32(p.id);
+  out.i32(p.src);
+  out.i32(p.dst);
+  out.i32(p.pos);
+  out.i8(p.last_move_dir);
+  out.u8(p.prev_advanced ? 1 : 0);
+  out.i32(p.prev_num_good);
+  out.u64(p.injected_at);
+  out.u64(p.arrived_at);
+  out.u64(p.deflections);
+  out.i32(p.initial_distance);
+}
+
+Packet read_packet_record(util::BinReader& in) {
+  Packet p;
+  p.id = in.i32();
+  p.src = in.i32();
+  p.dst = in.i32();
+  p.pos = in.i32();
+  p.last_move_dir = in.i8();
+  p.prev_advanced = in.u8() != 0;
+  p.prev_num_good = in.i32();
+  p.injected_at = in.u64();
+  p.arrived_at = in.u64();
+  p.deflections = in.u64();
+  p.initial_distance = in.i32();
+  return p;
+}
+
+void ArrivalLog::configure(const ArchiveConfig& config) {
+  HP_REQUIRE(count_ == 0, "ArrivalLog::configure must precede any append");
+  if (config.mode == ArchiveMode::kSpill) {
+    HP_REQUIRE(!config.spill_path.empty(),
+               "ArchiveMode::kSpill needs a spill_path");
+    HP_REQUIRE(config.spill_buffer_records > 0,
+               "spill_buffer_records must be > 0");
+    std::ofstream out(config.spill_path,
+                      std::ios::binary | std::ios::trunc);
+    HP_REQUIRE(out.good(),
+               "cannot create arrival spill file " + config.spill_path);
+  }
+  if (config.mode == ArchiveMode::kSample) {
+    HP_REQUIRE(config.sample_capacity > 0, "sample_capacity must be > 0");
+  }
+  config_ = config;
+  sample_rng_ = Rng(config.sample_seed);
+}
+
+void ArrivalLog::flush_spill() const {
+  if (spill_buf_.empty()) return;
+  std::ofstream out(config_.spill_path,
+                    std::ios::binary | std::ios::app);
+  HP_REQUIRE(out.good(),
+             "cannot open arrival spill file " + config_.spill_path);
+  util::BinWriter writer(out);
+  for (const Packet& p : spill_buf_) write_packet_record(writer, p);
+  HP_REQUIRE(writer.good(),
+             "write to arrival spill file " + config_.spill_path + " failed");
+  spill_buf_.clear();
+}
+
 void ArrivalLog::append(const Packet& p) {
   ++count_;
   if (!keep_) return;
-  const auto i = static_cast<std::size_t>(static_cast<std::uint32_t>(p.id));
-  if (index_by_id_.size() <= i) index_by_id_.resize(i + 1, -1);
-  index_by_id_[i] = static_cast<std::int64_t>(records_.size());
-  records_.push_back(p);
+  switch (config_.mode) {
+    case ArchiveMode::kMemory: {
+      const auto i =
+          static_cast<std::size_t>(static_cast<std::uint32_t>(p.id));
+      if (index_by_id_.size() <= i) index_by_id_.resize(i + 1, -1);
+      index_by_id_[i] = static_cast<std::int64_t>(records_.size());
+      records_.push_back(p);
+      ++retained_;
+      return;
+    }
+    case ArchiveMode::kSpill: {
+      spill_buf_.push_back(p);
+      if (spill_buf_.size() >= config_.spill_buffer_records) flush_spill();
+      ++retained_;
+      return;
+    }
+    case ArchiveMode::kSample: {
+      // Algorithm R: record i (0-based) replaces a uniform reservoir entry
+      // with probability capacity / (i + 1). Deterministic in the append
+      // sequence alone.
+      const std::uint64_t i = count_ - 1;
+      if (records_.size() < config_.sample_capacity) {
+        records_.push_back(p);
+        ++retained_;
+        return;
+      }
+      const std::uint64_t j = sample_rng_.uniform(i + 1);
+      if (j < config_.sample_capacity) {
+        records_[static_cast<std::size_t>(j)] = p;
+      }
+      return;
+    }
+  }
+}
+
+std::vector<Packet> ArrivalLog::drain() const {
+  switch (config_.mode) {
+    case ArchiveMode::kMemory:
+      return {records_.begin(), records_.end()};
+    case ArchiveMode::kSpill: {
+      flush_spill();
+      std::vector<Packet> out;
+      std::ifstream in(config_.spill_path, std::ios::binary);
+      HP_REQUIRE(in.good(),
+                 "cannot open arrival spill file " + config_.spill_path);
+      util::BinReader reader(in, "arrival spill file");
+      while (in.peek() != std::char_traits<char>::eof()) {
+        out.push_back(read_packet_record(reader));
+      }
+      return out;
+    }
+    case ArchiveMode::kSample: {
+      // The reservoir is not in arrival order (replacement overwrites in
+      // place); id order is the canonical presentation.
+      std::vector<Packet> out(records_.begin(), records_.end());
+      std::sort(out.begin(), out.end(),
+                [](const Packet& a, const Packet& b) { return a.id < b.id; });
+      return out;
+    }
+  }
+  return {};
 }
 
 const Packet* ArrivalLog::find(PacketId id) const {
-  const auto i = static_cast<std::size_t>(static_cast<std::uint32_t>(id));
-  if (i >= index_by_id_.size() || index_by_id_[i] < 0) return nullptr;
-  return &records_[static_cast<std::size_t>(index_by_id_[i])];
+  switch (config_.mode) {
+    case ArchiveMode::kMemory: {
+      const auto i =
+          static_cast<std::size_t>(static_cast<std::uint32_t>(id));
+      if (i >= index_by_id_.size() || index_by_id_[i] < 0) return nullptr;
+      return &records_[static_cast<std::size_t>(index_by_id_[i])];
+    }
+    case ArchiveMode::kSpill: {
+      for (const Packet& p : spill_buf_) {
+        if (p.id == id) return &p;
+      }
+      std::ifstream in(config_.spill_path, std::ios::binary);
+      if (!in.good()) return nullptr;
+      util::BinReader reader(in, "arrival spill file");
+      while (in.peek() != std::char_traits<char>::eof()) {
+        const Packet p = read_packet_record(reader);
+        if (p.id == id) {
+          find_scratch_ = p;
+          return &find_scratch_;
+        }
+      }
+      return nullptr;
+    }
+    case ArchiveMode::kSample: {
+      for (const Packet& p : records_) {
+        if (p.id == id) return &p;
+      }
+      return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+void ArrivalLog::serialize(util::BinWriter& out) const {
+  HP_REQUIRE(!keep_ || config_.mode == ArchiveMode::kMemory,
+             "checkpointing needs the in-memory arrival archive (or "
+             "archive_arrivals off); spill and sample archives hold state "
+             "outside the checkpoint");
+  out.u8(keep_ ? 1 : 0);
+  out.u64(count_);
+  if (!keep_) return;
+  out.u64(records_.size());
+  for (const Packet& p : records_) write_packet_record(out, p);
+}
+
+void ArrivalLog::deserialize(util::BinReader& in) {
+  HP_REQUIRE(count_ == 0, "ArrivalLog::deserialize needs a fresh log");
+  HP_REQUIRE(!keep_ || config_.mode == ArchiveMode::kMemory,
+             "checkpoint restore needs the in-memory arrival archive (or "
+             "archive_arrivals off)");
+  const bool kept = in.u8() != 0;
+  HP_REQUIRE(kept == keep_,
+             "checkpoint was written with archive_arrivals = " +
+                 std::string(kept ? "true" : "false") +
+                 " but this engine has it = " +
+                 std::string(keep_ ? "true" : "false"));
+  const std::uint64_t count = in.u64();
+  if (!keep_) {
+    count_ = count;
+    return;
+  }
+  const std::uint64_t n = in.u64();
+  HP_REQUIRE(n == count,
+             "checkpoint is corrupt (arrival record count mismatch)");
+  for (std::uint64_t i = 0; i < n; ++i) append(read_packet_record(in));
+  HP_REQUIRE(count_ == count,
+             "checkpoint is corrupt (arrival records do not replay)");
+}
+
+std::size_t ArrivalLog::memory_bytes() const {
+  return records_.capacity() * sizeof(Packet) +
+         spill_buf_.capacity() * sizeof(Packet) +
+         index_by_id_.capacity() * sizeof(std::int64_t);
 }
 
 }  // namespace hp::sim

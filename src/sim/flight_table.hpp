@@ -15,16 +15,30 @@
 // sliding window: once every id below a watermark has left flight, the
 // prefix is reclaimed, so locator memory is O(in-flight + id spread of the
 // in-flight set), not O(ids ever issued).
+//
+// Scale mode (docs/SCALE.md): the id/coordinate columns are 32-bit in every
+// profile; ColumnWidth::kCompact additionally narrows the two 64-bit
+// bookkeeping columns (injected_at, deflections) to 32 bits with overflow
+// checks, and the ArrivalLog can spill records to disk or keep a
+// fixed-size reservoir sample instead of an unbounded in-memory vector.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "sim/packet.hpp"
 #include "topology/types.hpp"
+#include "util/binio.hpp"
+#include "util/rng.hpp"
 
 namespace hp::sim {
+
+/// Width of the FlightTable's 64-bit bookkeeping columns. kCompact stores
+/// injected_at / deflections as 32-bit (8 bytes/packet saved) and throws
+/// hp::CheckError on overflow; every other column is 32-bit in both modes.
+enum class ColumnWidth { kWide = 0, kCompact = 1 };
 
 class FlightTable {
  public:
@@ -32,6 +46,13 @@ class FlightTable {
   /// stable across remove(); use PacketId + slot_of() to re-address.
   using Slot = std::int32_t;
   static constexpr Slot kNoSlot = -1;
+
+  explicit FlightTable(ColumnWidth width = ColumnWidth::kWide)
+      : compact_(width == ColumnWidth::kCompact) {}
+
+  ColumnWidth column_width() const {
+    return compact_ ? ColumnWidth::kCompact : ColumnWidth::kWide;
+  }
 
   std::size_t size() const { return ids_.size(); }
   bool empty() const { return ids_.empty(); }
@@ -46,8 +67,12 @@ class FlightTable {
   net::Dir entry_dir(Slot s) const { return entry_dir_[idx(s)]; }
   bool prev_advanced(Slot s) const { return prev_advanced_[idx(s)] != 0; }
   int prev_num_good(Slot s) const { return prev_num_good_[idx(s)]; }
-  std::uint64_t injected_at(Slot s) const { return injected_at_[idx(s)]; }
-  std::uint64_t deflections(Slot s) const { return deflections_[idx(s)]; }
+  std::uint64_t injected_at(Slot s) const {
+    return compact_ ? injected_at32_[idx(s)] : injected_at64_[idx(s)];
+  }
+  std::uint64_t deflections(Slot s) const {
+    return compact_ ? deflections32_[idx(s)] : deflections64_[idx(s)];
+  }
   int initial_distance(Slot s) const { return initial_distance_[idx(s)]; }
 
   /// Raw column bases for batch passes over slots [0, size()) — the
@@ -82,7 +107,7 @@ class FlightTable {
     entry_dir_[i] = via;
     prev_advanced_[i] = advanced ? 1 : 0;
     prev_num_good_[i] = static_cast<std::int8_t>(num_good);
-    if (!advanced) ++deflections_[i];
+    if (!advanced) bump_deflections(i);
   }
 
   /// Full record of an in-flight packet (arrived_at = kNotArrived).
@@ -92,12 +117,35 @@ class FlightTable {
   /// record. O(1); invalidates the last slot.
   Packet remove(Slot s, std::uint64_t arrived_at);
 
+  /// Repositions an EMPTY table's locator window so that the next id it
+  /// accepts is `id_base + window` (cast to PacketId through uint32).
+  /// Checkpoint restore and the 32-bit id-wrap tests use this to reproduce
+  /// a mid-run window without replaying every id since 0.
+  void reset_window(std::uint64_t id_base, std::uint64_t window);
+
+  /// Serializes the complete table state (columns in slot order + locator
+  /// window) — part of the engine checkpoint format (docs/SCALE.md). The
+  /// byte stream is ColumnWidth-independent: bookkeeping columns travel as
+  /// 64-bit and narrow again on restore if the target table is compact.
+  void serialize(util::BinWriter& out) const;
+
+  /// Restores state written by serialize() into an empty, fresh table.
+  /// Corrupt input throws hp::CheckError.
+  void deserialize(util::BinReader& in);
+
+  /// Heap bytes currently reserved by the table (capacity-based).
+  std::size_t memory_bytes() const;
+
  private:
   std::size_t idx(Slot s) const { return static_cast<std::size_t>(s); }
   void push_locator(PacketId id, Slot slot);
   void reclaim_locator_prefix();
+  void bump_deflections(std::size_t i);
 
-  // Parallel arrays indexed by slot.
+  bool compact_;
+
+  // Parallel arrays indexed by slot. The injected_at / deflections columns
+  // exist in exactly one width, selected at construction.
   std::vector<PacketId> ids_;
   std::vector<net::NodeId> src_;
   std::vector<net::NodeId> dst_;
@@ -105,8 +153,10 @@ class FlightTable {
   std::vector<net::Dir> entry_dir_;
   std::vector<std::uint8_t> prev_advanced_;
   std::vector<std::int8_t> prev_num_good_;
-  std::vector<std::uint64_t> injected_at_;
-  std::vector<std::uint64_t> deflections_;
+  std::vector<std::uint64_t> injected_at64_;
+  std::vector<std::uint64_t> deflections64_;
+  std::vector<std::uint32_t> injected_at32_;
+  std::vector<std::uint32_t> deflections32_;
   std::vector<std::int32_t> initial_distance_;
 
   // id → slot window: locator_[id - id_base_]. Entries [0, head_) are all
@@ -116,29 +166,92 @@ class FlightTable {
   std::size_t head_ = 0;
 };
 
+/// How the ArrivalLog stores full records when record-keeping is on.
+enum class ArchiveMode : std::uint8_t {
+  kMemory = 0,  ///< unbounded in-memory vector + O(1) id index (default)
+  kSpill = 1,   ///< bounded buffer, flushed to a binary spill file
+  kSample = 2,  ///< fixed-capacity deterministic reservoir sample
+};
+
+struct ArchiveConfig {
+  ArchiveMode mode = ArchiveMode::kMemory;
+  /// Spill file path; required (non-empty) for ArchiveMode::kSpill. The
+  /// file is truncated when the log is configured.
+  std::string spill_path;
+  /// Records buffered in memory between spill flushes.
+  std::size_t spill_buffer_records = 4096;
+  /// Reservoir capacity for ArchiveMode::kSample (must be > 0).
+  std::size_t sample_capacity = 4096;
+  /// Seed of the reservoir's replacement stream. Sampling is a pure
+  /// function of (seed, append sequence), so it is thread-count invariant.
+  std::uint64_t sample_seed = 1;
+};
+
 /// Append-only archive of delivered packets. When record-keeping is off
 /// (steady-state runs that would otherwise accumulate unbounded memory) it
-/// degrades to a counter.
+/// degrades to a counter; spill / sample modes bound the in-memory record
+/// set for scale runs while keeping counts exact.
 class ArrivalLog {
  public:
   void set_keep_records(bool keep) { keep_ = keep; }
   bool keeps_records() const { return keep_; }
 
+  /// Selects the storage mode. Must be called before the first append.
+  void configure(const ArchiveConfig& config);
+  ArchiveMode mode() const { return config_.mode; }
+
   void append(const Packet& p);
 
-  /// All archived records, in arrival order (empty when keeping is off).
+  /// In-memory records in arrival order. Only meaningful for kMemory
+  /// (kSpill/kSample hold a subset in memory — use drain()/dropped()).
   std::span<const Packet> records() const { return records_; }
 
-  /// Archived record of packet `id`, or nullptr if unknown / not kept.
+  /// Every retained record, in arrival order: the whole archive for
+  /// kMemory, spilled + buffered records for kSpill, and the current
+  /// reservoir (in id order) for kSample. O(archived); flushes the spill
+  /// buffer first so the file stays the single source of truth.
+  std::vector<Packet> drain() const;
+
+  /// Archived record of packet `id`, or nullptr if unknown / not kept /
+  /// sampled out. kSpill scans the spill file (O(archived)); the returned
+  /// pointer is invalidated by the next find() in that mode.
   const Packet* find(PacketId id) const;
 
   std::uint64_t count() const { return count_; }
 
+  /// Exact number of appended records not retained (dropped by keep=false,
+  /// or displaced / never admitted by the kSample reservoir). Always 0 for
+  /// kMemory and kSpill with keeping on.
+  std::uint64_t dropped() const { return count_ - retained_; }
+
+  /// Heap bytes currently reserved by the in-memory side of the log.
+  std::size_t memory_bytes() const;
+
+  /// Checkpoint I/O (docs/SCALE.md). Only a count-only log or the
+  /// in-memory mode serializes; kSpill / kSample are rejected with
+  /// hp::CheckError (their retained set lives outside the checkpoint).
+  void serialize(util::BinWriter& out) const;
+  void deserialize(util::BinReader& in);
+
  private:
+  void flush_spill() const;
+
   bool keep_ = true;
+  ArchiveConfig config_;
   std::uint64_t count_ = 0;
-  std::vector<Packet> records_;
-  std::vector<std::int64_t> index_by_id_;  // id -> index into records_
+  std::uint64_t retained_ = 0;
+  std::vector<Packet> records_;            // kMemory archive / kSample reservoir
+  mutable std::vector<Packet> spill_buf_;  // kSpill: records not yet on disk
+  std::vector<std::int64_t> index_by_id_;  // kMemory: id -> index into records_
+  Rng sample_rng_;                         // kSample replacement stream
+  /// kSpill find() scratch: find() stays const (the engine queries through
+  /// const references) but must surface a record read back from disk.
+  mutable Packet find_scratch_;
 };
+
+/// Fixed-layout binary Packet record (50 bytes), shared by the ArrivalLog
+/// spill file and the checkpoint format.
+void write_packet_record(util::BinWriter& out, const Packet& p);
+Packet read_packet_record(util::BinReader& in);
 
 }  // namespace hp::sim

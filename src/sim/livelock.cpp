@@ -1,5 +1,11 @@
 #include "sim/livelock.hpp"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/binio.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace hp::sim {
@@ -65,6 +71,36 @@ std::uint64_t LivelockDetector::record(const StateDigest& digest,
   // A 64-bit half-collision with distinct upper halves: genuinely distinct
   // states. Keep the first entry; this can at worst delay detection.
   return kNoRepeat;
+}
+
+void LivelockDetector::serialize(util::BinWriter& w) const {
+  std::vector<std::pair<std::uint64_t, Entry>> entries;
+  entries.reserve(seen_.size());
+  // The sort below makes the byte stream independent of bucket order.
+  for (const auto& [lo, entry] : seen_) entries.emplace_back(lo, entry);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.u64(entries.size());
+  for (const auto& [lo, entry] : entries) {
+    w.u64(lo);
+    w.u64(entry.hi);
+    w.u64(entry.step);
+  }
+}
+
+void LivelockDetector::deserialize(util::BinReader& r) {
+  HP_REQUIRE(seen_.empty(),
+             "LivelockDetector::deserialize needs a fresh detector");
+  const std::uint64_t n = r.u64();
+  seen_.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t lo = r.u64();
+    Entry e;
+    e.hi = r.u64();
+    e.step = r.u64();
+    HP_REQUIRE(seen_.emplace(lo, e).second,
+               "duplicate livelock digest in checkpoint");
+  }
 }
 
 }  // namespace hp::sim

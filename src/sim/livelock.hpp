@@ -19,6 +19,11 @@
 #include "sim/flight_table.hpp"
 #include "sim/packet.hpp"
 
+namespace hp::util {
+class BinWriter;
+class BinReader;
+}  // namespace hp::util
+
 namespace hp::sim {
 
 /// 128-bit configuration fingerprint: a sum of independent 128-bit
@@ -49,14 +54,21 @@ class LivelockDetector {
 
   std::size_t states_seen() const { return seen_.size(); }
 
+  /// Writes the seen-state map to a checkpoint, sorted by digest key so
+  /// the byte stream is independent of bucket order.
+  void serialize(util::BinWriter& w) const;
+  /// Restores the map from a checkpoint. The detector must be fresh.
+  void deserialize(util::BinReader& r);
+
  private:
   struct Entry {
     std::uint64_t hi;
     std::uint64_t step;
   };
-  // hp-lint: allow(unordered-member) lookup/insert only, never iterated:
-  // the digest keying this map is a commutative sum over the in-flight set
-  // (see digest_state), so no result ever depends on bucket order.
+  // hp-lint: allow(unordered-member) lookup/insert in the hot path; the
+  // only iteration (checkpoint serialize) sorts by key first. The digest
+  // keying this map is a commutative sum over the in-flight set (see
+  // digest_state), so no result ever depends on bucket order.
   std::unordered_map<std::uint64_t, Entry> seen_;
 };
 

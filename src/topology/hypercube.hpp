@@ -25,6 +25,9 @@ class Hypercube : public Network {
   int diameter() const override { return dim_; }
   std::string name() const override;
 
+  /// Every hypercube node has exactly one arc per address bit.
+  int degree(NodeId) const override { return dim_; }
+
   /// Good directions are exactly the differing address bits.
   DirList good_dirs(NodeId at, NodeId dst) const override;
   int num_good_dirs(NodeId at, NodeId dst) const override {

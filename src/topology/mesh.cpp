@@ -24,6 +24,17 @@ int Mesh::coord(NodeId node, int axis) const {
   return static_cast<int>((node / stride_[axis]) % side_);
 }
 
+int Mesh::degree(NodeId node) const {
+  if (wrap_) return 2 * dim_;
+  int deg = 2 * dim_;
+  for (int a = 0; a < dim_; ++a) {
+    const int pos = coord(node, a);
+    if (pos == 0) --deg;
+    if (pos == side_ - 1) --deg;
+  }
+  return deg;
+}
+
 Coord Mesh::coords(NodeId node) const {
   HP_REQUIRE(node >= 0 && node < static_cast<NodeId>(num_nodes_),
              "node id out of range");

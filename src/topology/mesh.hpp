@@ -31,6 +31,10 @@ class Mesh : public Network {
   int diameter() const override;
   std::string name() const override;
 
+  /// Closed form: 2·dim on a torus; otherwise one arc per axis end the
+  /// node does not sit on. Agrees with the base probe loop bit-for-bit.
+  int degree(NodeId node) const override;
+
   // Closed-form goodness tests: one coordinate decode instead of the base
   // class's per-direction neighbor() + distance() probes. Must agree with
   // the base implementation bit-for-bit (same directions, same order).

@@ -41,7 +41,11 @@ class Network {
   virtual std::string name() const = 0;
 
   /// Out-degree of `node` (number of directions with an existing arc).
-  int degree(NodeId node) const;
+  /// The base implementation probes every direction with neighbor();
+  /// topologies override it with closed forms — the engine's lean memory
+  /// profile calls this per injection / per routed node instead of keeping
+  /// an O(nodes) cache (docs/SCALE.md).
+  virtual int degree(NodeId node) const;
 
   /// True iff an arc in direction `dir` leaves `node`.
   bool arc_exists(NodeId node, Dir dir) const {

@@ -176,6 +176,98 @@ def test_probe_conflicts(hpsim, tmp):
           batch_pattern.returncode == 2, f"exit={batch_pattern.returncode}")
 
 
+def summary_tail(stdout):
+    """The summary lines a restored run must reproduce exactly."""
+    return [
+        line for line in stdout.splitlines()
+        if line.startswith(("steps", "deflections", "state fingerprint"))
+    ]
+
+
+def test_checkpoint_roundtrip(hpsim, tmp):
+    ckpt = tmp / "run.ckpt"
+    full = run(hpsim, *batch_args("--fingerprint"))
+    check("fingerprint run exits 0", full.returncode == 0, full.stderr)
+    check("fingerprint line printed",
+          any(line.startswith("state fingerprint : 0x")
+              for line in full.stdout.splitlines()))
+
+    mid = run(hpsim, *batch_args("--checkpoint", str(ckpt),
+                                 "--checkpoint-at", "5", "--fingerprint"))
+    check("checkpointed run exits 0", mid.returncode == 0, mid.stderr)
+    check("checkpoint file written", ckpt.is_file() and ckpt.stat().st_size > 0)
+    check("mid-run checkpoint leaves the run unchanged",
+          summary_tail(mid.stdout) == summary_tail(full.stdout))
+
+    restored = run(hpsim, "--topology", "mesh", "--n", "8",
+                   "--policy", "restricted", "--seed", "3",
+                   "--restore", str(ckpt), "--fingerprint")
+    check("restored run exits 0", restored.returncode == 0, restored.stderr)
+    check("restored run matches the uninterrupted one",
+          summary_tail(restored.stdout) == summary_tail(full.stdout))
+
+    lean = run(hpsim, "--topology", "mesh", "--n", "8",
+               "--policy", "restricted", "--seed", "3",
+               "--restore", str(ckpt), "--fingerprint", "--scale")
+    check("--scale restore exits 0", lean.returncode == 0, lean.stderr)
+    check("--scale restore is bit-identical",
+          summary_tail(lean.stdout) == summary_tail(full.stdout))
+
+
+def test_scale_profile_invariance(hpsim):
+    default = run(hpsim, *batch_args("--fingerprint"))
+    lean = run(hpsim, *batch_args("--fingerprint", "--scale"))
+    check("--scale batch run exits 0", lean.returncode == 0, lean.stderr)
+    check("--scale run is bit-identical to the default profile",
+          summary_tail(lean.stdout) == summary_tail(default.stdout))
+
+
+def test_checkpoint_conflicts(hpsim, tmp):
+    ckpt = tmp / "x.ckpt"
+    for mode in ("--probe", "--sweep-cell"):
+        for flag in (["--checkpoint", str(ckpt)], ["--restore", str(ckpt)],
+                     ["--fingerprint"], ["--scale"]):
+            proc = run(hpsim, mode, *probe_args(), *flag)
+            check(f"{mode} rejects {flag[0]}", proc.returncode == 2,
+                  f"exit={proc.returncode}")
+            check(f"{mode} {flag[0]} conflict names the mode",
+                  mode in proc.stderr)
+    inject = run(hpsim, "--inject", "0.01", "--inject-steps", "50",
+                 "--checkpoint", str(ckpt))
+    check("--inject rejects --checkpoint", inject.returncode == 2,
+          f"exit={inject.returncode}")
+    orphan = run(hpsim, *batch_args("--checkpoint-at", "5"))
+    check("--checkpoint-at without --checkpoint exits 2",
+          orphan.returncode == 2, f"exit={orphan.returncode}")
+    mixed = run(hpsim, *batch_args("--restore", str(ckpt),
+                                   "--load", str(tmp / "y.json")))
+    check("--restore rejects --load", mixed.returncode == 2,
+          f"exit={mixed.returncode}")
+
+
+def test_restore_mismatch_rejected(hpsim, tmp):
+    ckpt = tmp / "mismatch.ckpt"
+    written = run(hpsim, *batch_args("--checkpoint", str(ckpt),
+                                     "--checkpoint-at", "5"))
+    check("checkpoint for mismatch test exits 0", written.returncode == 0,
+          written.stderr)
+    wrong = run(hpsim, "--topology", "torus", "--n", "8",
+                "--policy", "restricted", "--seed", "3",
+                "--restore", str(ckpt))
+    check("restore into a different topology exits 2",
+          wrong.returncode == 2, f"exit={wrong.returncode}")
+    check("topology mismatch error names both networks",
+          "mesh" in wrong.stderr and "torus" in wrong.stderr)
+    truncated = tmp / "truncated.ckpt"
+    truncated.write_bytes(ckpt.read_bytes()[:20])
+    cut = run(hpsim, "--topology", "mesh", "--n", "8",
+              "--policy", "restricted", "--seed", "3",
+              "--restore", str(truncated))
+    check("truncated checkpoint exits 2", cut.returncode == 2,
+          f"exit={cut.returncode}")
+    check("truncation error is clear", "truncat" in cut.stderr)
+
+
 def main():
     if len(sys.argv) != 2:
         print("usage: hpsim_cli_test.py /path/to/hpsim", file=sys.stderr)
@@ -192,6 +284,10 @@ def main():
         test_sweep_cell_mode(hpsim)
         test_probe_determinism_across_threads(hpsim)
         test_probe_conflicts(hpsim, tmp)
+        test_checkpoint_roundtrip(hpsim, tmp)
+        test_scale_profile_invariance(hpsim)
+        test_checkpoint_conflicts(hpsim, tmp)
+        test_restore_mismatch_rejected(hpsim, tmp)
     if FAILURES:
         print(f"{len(FAILURES)} failure(s): {', '.join(FAILURES)}")
         return 1

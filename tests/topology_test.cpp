@@ -347,5 +347,36 @@ INSTANTIATE_TEST_SUITE_P(Shapes, MeshSweep,
                          ::testing::Combine(::testing::Values(1, 2, 3),
                                             ::testing::Values(2, 3, 4, 5)));
 
+TEST(Degree, ClosedFormsMatchTheProbeLoop) {
+  // The lean engine profile answers degree() from the topologies' closed
+  // forms instead of the cached probe loop (docs/SCALE.md); the two must
+  // agree on every node of every shape, wrap or not.
+  auto probe = [](const Network& net, NodeId v) {
+    int deg = 0;
+    for (Dir d = 0; d < net.num_dirs(); ++d) {
+      if (net.neighbor(v, d) != kInvalidNode) ++deg;
+    }
+    return deg;
+  };
+  for (const int dim : {1, 2, 3}) {
+    for (const int side : {2, 3, 5}) {
+      for (const bool wrap : {false, true}) {
+        Mesh mesh(dim, side, wrap);
+        for (NodeId v = 0; v < static_cast<NodeId>(mesh.num_nodes()); ++v) {
+          ASSERT_EQ(mesh.degree(v), probe(mesh, v))
+              << "dim " << dim << " side " << side << " wrap " << wrap
+              << " node " << v;
+        }
+      }
+    }
+  }
+  for (const int dim : {1, 3, 6}) {
+    Hypercube cube(dim);
+    for (NodeId v = 0; v < static_cast<NodeId>(cube.num_nodes()); ++v) {
+      ASSERT_EQ(cube.degree(v), probe(cube, v)) << "dim " << dim;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace hp::net
